@@ -1,0 +1,320 @@
+// Benchmarks regenerating the paper's figure/table set. Each benchmark
+// maps to a row of DESIGN.md's experiment index (E1-E11); routing
+// benchmarks report measured stretch as a custom metric next to ns/op so
+// the paper's numbers and the implementation's cost appear together.
+package rtroute
+
+import (
+	"math/rand"
+	"testing"
+
+	"rtroute/internal/blocks"
+	"rtroute/internal/cover"
+	"rtroute/internal/graph"
+	"rtroute/internal/rtmetric"
+	"rtroute/internal/rtz"
+	"rtroute/internal/tree"
+)
+
+// benchSystem builds a shared 128-node system for routing benchmarks.
+func benchSystem(b *testing.B, seed int64, n int) *System {
+	b.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := RandomSC(n, 4*n, 8, rng)
+	sys, err := NewSystem(g, RandomNaming(n, rng))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+func benchRoundtrips(b *testing.B, sys *System, sch Scheme) {
+	b.Helper()
+	n := sys.Graph.N()
+	rng := rand.New(rand.NewSource(99))
+	type pair struct{ s, d int32 }
+	pairs := make([]pair, 1024)
+	for i := range pairs {
+		u, v := rng.Intn(n), rng.Intn(n)
+		for u == v {
+			v = rng.Intn(n)
+		}
+		pairs[i] = pair{sys.Naming.Name(int32(u)), sys.Naming.Name(int32(v))}
+	}
+	var totalStretch float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		tr, err := sch.Roundtrip(p.s, p.d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalStretch += sys.Stretch(p.s, p.d, tr)
+	}
+	b.ReportMetric(totalStretch/float64(b.N), "stretch/op")
+	b.ReportMetric(float64(sch.MaxTableWords()), "maxTblWords")
+}
+
+// BenchmarkFig1RTZBaseline is E1's name-dependent baseline row ([35]).
+func BenchmarkFig1RTZBaseline(b *testing.B) {
+	sys := benchSystem(b, 1, 128)
+	rng := rand.New(rand.NewSource(2))
+	sub, err := rtz.New(sys.Graph, sys.Metric, rng, rtz.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := sys.Graph.N()
+	var totalStretch float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := graph.NodeID(i % n)
+		v := graph.NodeID((i*7 + 1) % n)
+		if u == v {
+			v = (v + 1) % graph.NodeID(n)
+		}
+		w, err := sub.Roundtrip(u, v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalStretch += float64(w) / float64(sys.Metric.R(u, v))
+	}
+	b.ReportMetric(totalStretch/float64(b.N), "stretch/op")
+	b.ReportMetric(float64(sub.MaxTableWords()), "maxTblWords")
+}
+
+// BenchmarkFig1Stretch6Roundtrip is E1/E3: the §2 scheme's routing cost
+// and measured stretch (bound 6).
+func BenchmarkFig1Stretch6Roundtrip(b *testing.B) {
+	sys := benchSystem(b, 3, 128)
+	sch, err := sys.BuildStretchSix(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchRoundtrips(b, sys, sch)
+}
+
+// BenchmarkFig1ExStretchK2Roundtrip and K3 are E1/E4 rows (§3 scheme).
+func BenchmarkFig1ExStretchK2Roundtrip(b *testing.B) {
+	sys := benchSystem(b, 5, 128)
+	sch, err := sys.BuildExStretch(2, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchRoundtrips(b, sys, sch)
+}
+
+func BenchmarkFig1ExStretchK3Roundtrip(b *testing.B) {
+	sys := benchSystem(b, 7, 128)
+	sch, err := sys.BuildExStretch(3, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchRoundtrips(b, sys, sch)
+}
+
+// BenchmarkFig1PolyK2Roundtrip is E1/E6 (§4 scheme, bound 8k^2+4k-4).
+func BenchmarkFig1PolyK2Roundtrip(b *testing.B) {
+	sys := benchSystem(b, 9, 128)
+	sch, err := sys.BuildPolynomial(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchRoundtrips(b, sys, sch)
+}
+
+// BenchmarkBuildStretch6 measures §2 preprocessing (E3/E9).
+func BenchmarkBuildStretch6(b *testing.B) {
+	sys := benchSystem(b, 11, 96)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.BuildStretchSix(int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildExStretchK3 measures §3 preprocessing (E4).
+func BenchmarkBuildExStretchK3(b *testing.B) {
+	sys := benchSystem(b, 12, 96)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.BuildExStretch(3, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildPolyK2 measures §4 preprocessing (E6).
+func BenchmarkBuildPolyK2(b *testing.B) {
+	sys := benchSystem(b, 13, 96)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.BuildPolynomial(2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2BlockAssign is E2: the Lemma 1/4 randomized assignment
+// with verification.
+func BenchmarkFig2BlockAssign(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	g := RandomSC(128, 512, 6, rng)
+	m := AllPairs(g)
+	space := rtmetric.New(g, m, nil)
+	space.Init(0) // warm the order cache like a real build would
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := blocks.Assign(space, 2, rand.New(rand.NewSource(int64(i))), blocks.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if a.MaxSetSize() == 0 {
+			b.Fatal("empty assignment")
+		}
+	}
+}
+
+// BenchmarkTheorem10Cover is E5: the Figs. 7-8 cover construction.
+func BenchmarkTheorem10Cover(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	g := RandomSC(128, 512, 6, rng)
+	m := AllPairs(g)
+	dm := func(u, v graph.NodeID) graph.Dist { return m.R(u, v) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := cover.Build(g, dm, 3, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Clusters) == 0 {
+			b.Fatal("no clusters")
+		}
+	}
+}
+
+// BenchmarkBallGrowingCover is E10's ablation counterpart.
+func BenchmarkBallGrowingCover(b *testing.B) {
+	rng := rand.New(rand.NewSource(16))
+	g := RandomSC(128, 512, 6, rng)
+	m := AllPairs(g)
+	dm := func(u, v graph.NodeID) graph.Dist { return m.R(u, v) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := cover.BuildBallGrowing(g, dm, 3, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Clusters) == 0 {
+			b.Fatal("no clusters")
+		}
+	}
+}
+
+// BenchmarkLemma14TreeBuild measures fixed-port tree routing
+// preprocessing over a full graph (Lemma 14 substrate).
+func BenchmarkLemma14TreeBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	g := RandomSC(256, 1024, 8, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := tree.BuildDouble(g, graph.NodeID(i%g.N()), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if t.RTHeight() == 0 {
+			b.Fatal("degenerate tree")
+		}
+	}
+}
+
+// BenchmarkLemma2RTZOneWay is E7: one-way routing on the stretch-3
+// substrate, whose guarantee p(u,v) <= r(u,v)+d(u,v) drives §2's proof.
+func BenchmarkLemma2RTZOneWay(b *testing.B) {
+	rng := rand.New(rand.NewSource(18))
+	g := RandomSC(128, 512, 8, rng)
+	m := AllPairs(g)
+	sub, err := rtz.New(g, m, rng, rtz.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := g.N()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := graph.NodeID(i % n)
+		v := graph.NodeID((i*13 + 5) % n)
+		if u == v {
+			v = (v + 1) % graph.NodeID(n)
+		}
+		if _, _, err := sub.Route(u, sub.LabelOf(v)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDijkstra measures the shortest-path substrate (S1).
+func BenchmarkDijkstra(b *testing.B) {
+	rng := rand.New(rand.NewSource(19))
+	g := RandomSC(1024, 8192, 16, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := graph.Dijkstra(g, graph.NodeID(i%g.N()))
+		if res.Dist[(i+1)%g.N()] >= Inf {
+			b.Fatal("unreachable in SC graph")
+		}
+	}
+}
+
+// BenchmarkAllPairs measures full metric construction (S1).
+func BenchmarkAllPairs(b *testing.B) {
+	rng := rand.New(rand.NewSource(20))
+	g := RandomSC(256, 1024, 8, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := AllPairs(g)
+		if m.RTDiam() == 0 {
+			b.Fatal("degenerate metric")
+		}
+	}
+}
+
+// BenchmarkTheorem15Reduction is E8: the lower-bound analysis pass.
+func BenchmarkTheorem15Reduction(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+	g := Bidirect(RandomSC(24, 72, 4, rng))
+	g.AssignPorts(rng.Intn)
+	sys, err := NewSystem(g, RandomNaming(g.N(), rng))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sch, err := sys.BuildStretchSix(22)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reports, err := AnalyzeLowerBound(sys, sch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if SummarizeLowerBound(reports).Pairs == 0 {
+			b.Fatal("no reports")
+		}
+	}
+}
+
+// BenchmarkInitOrder measures the Init_v total-order computation (S2),
+// the dominant preprocessing cost after all-pairs.
+func BenchmarkInitOrder(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	g := RandomSC(512, 2048, 8, rng)
+	m := AllPairs(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		space := rtmetric.New(g, m, nil)
+		ord := space.Init(graph.NodeID(i % g.N()))
+		if len(ord) != g.N() {
+			b.Fatal("bad order")
+		}
+	}
+}

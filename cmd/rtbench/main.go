@@ -1,0 +1,356 @@
+// Command rtbench runs the paper's experiments and prints their tables.
+//
+// Usage:
+//
+//	rtbench -exp fig1  -n 64  -seed 1 -k 2,3   # comparison table (E1)
+//	rtbench -exp fig2  -n 36  -seed 1          # block distribution (E2, Fig. 2)
+//	rtbench -exp space -seed 1                 # table-size sweep (E9)
+//	rtbench -exp stretch -n 48 -seed 1         # per-scheme stretch distributions (E3/E4/E6)
+//	rtbench -exp lower -n 25 -seed 1           # Theorem 15 reduction (E8)
+//	rtbench -exp ablation -n 36 -seed 1        # cover-variant ablation (E10)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"rtroute"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "fig1", "experiment: fig1|fig2|space|stretch|lower|ablation")
+		n    = flag.Int("n", 64, "number of nodes")
+		seed = flag.Int64("seed", 1, "random seed")
+		ks   = flag.String("k", "2,3", "comma-separated tradeoff parameters")
+	)
+	flag.Parse()
+
+	if err := run(*exp, *n, *seed, parseKs(*ks)); err != nil {
+		fmt.Fprintln(os.Stderr, "rtbench:", err)
+		os.Exit(1)
+	}
+}
+
+func parseKs(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		if k, err := strconv.Atoi(strings.TrimSpace(part)); err == nil && k >= 2 {
+			out = append(out, k)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{2}
+	}
+	return out
+}
+
+func run(exp string, n int, seed int64, ks []int) error {
+	switch exp {
+	case "fig1":
+		return runFig1(n, seed, ks)
+	case "fig2":
+		return runFig2(n, seed)
+	case "fig5":
+		return runFig5(n, seed)
+	case "fig10":
+		return runFig10(n, seed)
+	case "space":
+		return runSpace(seed)
+	case "stretch":
+		return runStretch(n, seed, ks)
+	case "profile":
+		return runProfile(n, seed)
+	case "lower":
+		return runLower(n, seed)
+	case "ablation":
+		return runAblation(n, seed)
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}
+
+func runProfile(n int, seed int64) error {
+	fmt.Printf("# stretch profile by roundtrip distance (n=%d, seed=%d)\n\n", n, seed)
+	rng := rand.New(rand.NewSource(seed))
+	g := rtroute.RandomSC(n, 4*n, 8, rng)
+	sys, err := rtroute.NewSystem(g, rtroute.RandomNaming(n, rng))
+	if err != nil {
+		return err
+	}
+	for _, b := range []struct {
+		name  string
+		build func() (rtroute.Scheme, error)
+	}{
+		{"stretch6", func() (rtroute.Scheme, error) { return sys.BuildStretchSix(seed) }},
+		{"polystretch k=2", func() (rtroute.Scheme, error) { return sys.BuildPolynomial(2) }},
+	} {
+		sch, err := b.build()
+		if err != nil {
+			return err
+		}
+		buckets, err := rtroute.ProfileScheme(sys, sch, 5000, 5, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s:\n%s\n", b.name, rtroute.FormatProfile(buckets))
+	}
+	fmt.Println("nearby destinations pay relatively more: dictionary detours dominate small r(s,t)")
+	return nil
+}
+
+func runFig5(n int, seed int64) error {
+	fmt.Printf("# Fig. 5 — prefix-matching dictionary walk (ExStretch, n=%d, seed=%d)\n\n", n, seed)
+	rng := rand.New(rand.NewSource(seed))
+	g := rtroute.RandomSC(n, 4*n, 6, rng)
+	sys, err := rtroute.NewSystem(g, rtroute.RandomNaming(n, rng))
+	if err != nil {
+		return err
+	}
+	ex, err := sys.BuildExStretch(4, seed)
+	if err != nil {
+		return err
+	}
+	printed := 0
+	for src := 0; src < n && printed < 3; src++ {
+		dst := (src*37 + n/2) % n
+		if src == dst {
+			continue
+		}
+		srcName := sys.Naming.Name(int32(src))
+		dstName := sys.Naming.Name(int32(dst))
+		steps, err := ex.PrefixTrace(srcName, dstName)
+		if err != nil {
+			return err
+		}
+		if len(steps) < 3 {
+			continue // walk too short to illustrate; try another pair
+		}
+		printed++
+		fmt.Printf("destination name %d = digits %v (base %d)\n", dstName, ex.Universe().Digits(dstName), ex.Universe().Q)
+		for i, st := range steps {
+			fmt.Printf("  v_%d: node %3d  name %4d  digits %v  holds block matching %d digit(s) of target\n",
+				i, st.Node, st.Name, st.Digits, st.Matched)
+		}
+		fmt.Println()
+	}
+	fmt.Println("each waypoint's blocks match a strictly longer prefix — the Fig. 5 schematic")
+	return nil
+}
+
+func runFig10(n int, seed int64) error {
+	fmt.Printf("# Fig. 10 — center-relayed route inside a home double-tree (PolynomialStretch, n=%d, seed=%d)\n\n", n, seed)
+	rng := rand.New(rand.NewSource(seed))
+	g := rtroute.RandomSC(n, 4*n, 6, rng)
+	sys, err := rtroute.NewSystem(g, rtroute.RandomNaming(n, rng))
+	if err != nil {
+		return err
+	}
+	poly, err := sys.BuildPolynomial(2)
+	if err != nil {
+		return err
+	}
+	src := sys.Naming.Name(0)
+	dst := sys.Naming.Name(int32(n / 2))
+	tr, err := poly.Roundtrip(src, dst)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("roundtrip name %d -> %d -> %d\n", src, dst, src)
+	fmt.Printf("  out path  (topological ids): %v\n", tr.Out.Path)
+	fmt.Printf("  back path (topological ids): %v\n", tr.Back.Path)
+	for lvl := 0; lvl < poly.Levels(); lvl++ {
+		root, err := poly.HomeTreeRoot(src, lvl)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  level %d home-tree center (name): %d\n", lvl, root)
+	}
+	fmt.Println("\nthe packet repeatedly relays through its tree's center, as in Fig. 10")
+	return nil
+}
+
+func runFig1(n int, seed int64, ks []int) error {
+	fmt.Printf("# E1 / Fig. 1 — scheme comparison on a random SC digraph (n=%d, seed=%d)\n\n", n, seed)
+	rows, err := rtroute.Fig1(rtroute.Fig1Config{N: n, Seed: seed, Ks: ks})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rtroute.FormatFig1(rows))
+	fmt.Println("\nstretch columns are measured over sampled ordered pairs; bounds are the paper's worst cases")
+	return nil
+}
+
+func runFig2(n int, seed int64) error {
+	fmt.Printf("# E2 / Fig. 2 — block distribution (Lemma 1) on n=%d, seed=%d\n\n", n, seed)
+	rng := rand.New(rand.NewSource(seed))
+	g := rtroute.RandomSC(n, 3*n, 1, rng)
+	sys, err := rtroute.NewSystem(g, rtroute.RandomNaming(n, rng))
+	if err != nil {
+		return err
+	}
+	s6, err := sys.BuildStretchSix(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %-20s\n", "node", "neighborhood size")
+	for v := 0; v < n && v < 12; v++ {
+		fmt.Printf("%-8d %-20d\n", v, s6.NeighborhoodEntries(rtroute.NodeID(v)))
+	}
+	fmt.Printf("...\nmax table words: %d  avg: %.1f\n", s6.MaxTableWords(), s6.AvgTableWords())
+	fmt.Println("every neighborhood covers every block type (verified at construction)")
+	return nil
+}
+
+func runSpace(seed int64) error {
+	fmt.Printf("# E9 — table size vs n for the stretch-6 scheme (seed=%d)\n\n", seed)
+	pts, err := rtroute.SpaceSweep([]int{64, 128, 256, 512}, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rtroute.FormatSpaceSweep(pts))
+	fmt.Println("\navg/sqrt(n) should be roughly flat times polylog growth")
+	return nil
+}
+
+func runStretch(n int, seed int64, ks []int) error {
+	fmt.Printf("# E3/E4/E6 — stretch distributions (n=%d, seed=%d)\n\n", n, seed)
+	rng := rand.New(rand.NewSource(seed))
+	g := rtroute.RandomSC(n, 4*n, 8, rng)
+	sys, err := rtroute.NewSystem(g, rtroute.RandomNaming(n, rng))
+	if err != nil {
+		return err
+	}
+	type build struct {
+		name  string
+		bound string
+		sch   rtroute.Scheme
+	}
+	var builds []build
+	s6, err := sys.BuildStretchSix(seed)
+	if err != nil {
+		return err
+	}
+	builds = append(builds, build{"stretch6", "6", s6})
+	for _, k := range ks {
+		ex, err := sys.BuildExStretch(k, seed)
+		if err != nil {
+			return err
+		}
+		builds = append(builds, build{fmt.Sprintf("exstretch k=%d", k), fmt.Sprintf("(2^%d-1)*hop", k), ex})
+		poly, err := sys.BuildPolynomial(k)
+		if err != nil {
+			return err
+		}
+		builds = append(builds, build{fmt.Sprintf("polystretch k=%d", k), fmt.Sprintf("%d", 8*k*k+4*k-4), poly})
+	}
+	fmt.Printf("%-18s %-14s %8s %8s %8s %10s\n", "scheme", "bound", "maxS", "meanS", "p99S", "maxHdrW")
+	for _, b := range builds {
+		stats, err := rtroute.MeasureScheme(sys, b.sch, 4000, seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", b.name, err)
+		}
+		fmt.Printf("%-18s %-14s %8.3f %8.3f %8.3f %10d\n",
+			b.name, b.bound, stats.Max, stats.Mean, stats.P99, stats.MaxHeaderWords)
+	}
+	return nil
+}
+
+func runLower(n int, seed int64) error {
+	fmt.Printf("# E8 / Theorem 15 — reduction on a bidirected graph (n=%d, seed=%d)\n\n", n, seed)
+	rng := rand.New(rand.NewSource(seed))
+	g := rtroute.Bidirect(rtroute.RandomSC(n, 3*n, 4, rng))
+	g.AssignPorts(rng.Intn)
+	sys, err := rtroute.NewSystem(g, rtroute.RandomNaming(g.N(), rng))
+	if err != nil {
+		return err
+	}
+	s6, err := sys.BuildStretchSix(seed)
+	if err != nil {
+		return err
+	}
+	reports, err := rtroute.AnalyzeLowerBound(sys, s6)
+	if err != nil {
+		return err
+	}
+	sum := rtroute.SummarizeLowerBound(reports)
+	fmt.Printf("pairs analyzed:          %d\n", sum.Pairs)
+	fmt.Printf("max roundtrip stretch:   %.3f (scheme bound 6)\n", sum.MaxRoundtripStretch)
+	fmt.Printf("max induced 1-way stretch: %.3f (s1 <= 2*s2 - 1)\n", sum.MaxOneWayStretch)
+	fmt.Printf("pairs with roundtrip stretch < 2: %d / %d\n", sum.PairsBelow2, sum.Pairs)
+	fmt.Println("\nTheorem 15: with o(n) tables, no TINN roundtrip scheme can keep ALL pairs below 2")
+	return nil
+}
+
+func runAblation(n int, seed int64) error {
+	fmt.Printf("# E10 / §4.4 — cover-variant ablation for polystretch (n=%d, seed=%d)\n\n", n, seed)
+	rng := rand.New(rand.NewSource(seed))
+	g := rtroute.RandomSC(n, 4*n, 6, rng)
+	sys, err := rtroute.NewSystem(g, rtroute.RandomNaming(n, rng))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-28s %8s %8s %10s %10s\n", "variant", "maxS", "meanS", "maxTblW", "avgTblW")
+	for _, v := range []struct {
+		name string
+		cv   rtroute.CoverVariant
+		base float64
+	}{
+		{"awerbuch-peleg base=2", rtroute.CoverAwerbuchPeleg, 2},
+		{"ball-growing base=2", rtroute.CoverBallGrowing, 2},
+		{"awerbuch-peleg base=1.5", rtroute.CoverAwerbuchPeleg, 1.5},
+	} {
+		poly, err := sys.BuildPolynomialVariant(2, v.base, v.cv)
+		if err != nil {
+			return fmt.Errorf("%s: %w", v.name, err)
+		}
+		stats, err := rtroute.MeasureScheme(sys, poly, 3000, seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", v.name, err)
+		}
+		fmt.Printf("%-28s %8.3f %8.3f %10d %10.1f\n",
+			v.name, stats.Max, stats.Mean, poly.MaxTableWords(), poly.AvgTableWords())
+	}
+	fmt.Println("\n§4.4: the AP cover keeps whole neighborhoods in one home tree; ball-growing trades radius for overlap")
+
+	fmt.Printf("\n# return-trip policy ablations (§2.2 and §3.5 remarks)\n\n")
+	fmt.Printf("%-28s %8s %8s %10s %10s %10s\n", "scheme variant", "maxS", "meanS", "maxTblW", "avgTblW", "maxHdrW")
+	// Sparse block assignments (low boost) make the dictionary path
+	// actually fire, so the return-policy variants can diverge.
+	sparse := rtroute.BlockOptions{Boost: 1.2}
+	variants := []struct {
+		name  string
+		build func() (rtroute.Scheme, error)
+	}{
+		{"stretch6", func() (rtroute.Scheme, error) {
+			return sys.BuildStretchSixWith(seed, rtroute.Stretch6Options{Blocks: sparse})
+		}},
+		{"stretch6 via-source", func() (rtroute.Scheme, error) {
+			return sys.BuildStretchSixWith(seed, rtroute.Stretch6Options{Blocks: sparse, ViaSource: true})
+		}},
+		{"exstretch k=2", func() (rtroute.Scheme, error) {
+			return sys.BuildExStretchWith(seed, rtroute.ExStretchOptions{K: 2, Blocks: sparse})
+		}},
+		{"exstretch k=2 direct-return", func() (rtroute.Scheme, error) {
+			return sys.BuildExStretchWith(seed, rtroute.ExStretchOptions{K: 2, Blocks: sparse, DirectReturn: true})
+		}},
+	}
+	for _, v := range variants {
+		sch, err := v.build()
+		if err != nil {
+			return fmt.Errorf("%s: %w", v.name, err)
+		}
+		stats, err := rtroute.MeasureScheme(sys, sch, 3000, seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", v.name, err)
+		}
+		fmt.Printf("%-28s %8.3f %8.3f %10d %10.1f %10d\n",
+			v.name, stats.Max, stats.Mean, sch.MaxTableWords(), sch.AvgTableWords(), stats.MaxHeaderWords)
+	}
+	fmt.Println("\nvia-source lengthens paths; direct-return trades header/stack for global labels")
+	return nil
+}

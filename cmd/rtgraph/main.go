@@ -1,0 +1,109 @@
+// Command rtgraph generates the synthetic networks used by the
+// experiments and prints their structural statistics, including the
+// roundtrip-metric quantities the paper's analyses revolve around.
+//
+// Usage:
+//
+//	rtgraph -type random -n 64 -seed 3
+//	rtgraph -type layered -n 40 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"rtroute"
+)
+
+func main() {
+	var (
+		typ  = flag.String("type", "random", "graph family: random|gnp|ring|grid|scalefree|layered|complete")
+		n    = flag.Int("n", 64, "number of nodes")
+		seed = flag.Int64("seed", 1, "random seed")
+		maxW = flag.Int64("maxw", 8, "maximum edge weight")
+		out  = flag.String("o", "", "write the graph to this file (exchange format)")
+		dot  = flag.Bool("dot", false, "print Graphviz DOT instead of statistics")
+	)
+	flag.Parse()
+	if err := run(*typ, *n, *seed, rtroute.Dist(*maxW), *out, *dot); err != nil {
+		fmt.Fprintln(os.Stderr, "rtgraph:", err)
+		os.Exit(1)
+	}
+}
+
+func run(typ string, n int, seed int64, maxW rtroute.Dist, out string, dot bool) error {
+	rng := rand.New(rand.NewSource(seed))
+	var g *rtroute.Graph
+	switch typ {
+	case "random":
+		g = rtroute.RandomSC(n, 4*n, maxW, rng)
+	case "gnp":
+		g = rtroute.RandomGNP(n, 0.1, maxW, rng)
+	case "ring":
+		g = rtroute.Ring(n, rng)
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		g = rtroute.Grid(side, side, rng)
+	case "scalefree":
+		g = rtroute.ScaleFreeSC(n, 2, maxW, rng)
+	case "layered":
+		g = rtroute.LayeredSC((n+3)/4, 4, maxW, rng)
+	case "complete":
+		g = rtroute.Complete(n, maxW, rng)
+	default:
+		return fmt.Errorf("unknown graph type %q", typ)
+	}
+
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if _, err := g.WriteTo(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d nodes / %d edges to %s\n", g.N(), g.M(), out)
+	}
+	if dot {
+		fmt.Print(g.DOT(typ))
+		return nil
+	}
+
+	m := rtroute.AllPairsParallel(g, 0)
+	fmt.Printf("family:              %s\n", typ)
+	fmt.Printf("nodes / edges:       %d / %d\n", g.N(), g.M())
+	fmt.Printf("strongly connected:  %v\n", rtroute.StronglyConnected(g))
+	fmt.Printf("max edge weight:     %d\n", g.MaxWeight())
+	fmt.Printf("one-way diameter:    %d\n", m.Diam())
+	fmt.Printf("roundtrip diameter:  %d\n", m.RTDiam())
+
+	// Asymmetry profile: how different d(u,v) and d(v,u) are.
+	var maxRatio float64
+	var symPairs, pairs int
+	for u := 0; u < g.N(); u++ {
+		for v := u + 1; v < g.N(); v++ {
+			duv := float64(m.D(rtroute.NodeID(u), rtroute.NodeID(v)))
+			dvu := float64(m.D(rtroute.NodeID(v), rtroute.NodeID(u)))
+			pairs++
+			if duv == dvu {
+				symPairs++
+			}
+			ratio := duv / dvu
+			if ratio < 1 {
+				ratio = 1 / ratio
+			}
+			if ratio > maxRatio {
+				maxRatio = ratio
+			}
+		}
+	}
+	fmt.Printf("symmetric pairs:     %d / %d\n", symPairs, pairs)
+	fmt.Printf("max d(u,v)/d(v,u):   %.2f\n", maxRatio)
+	return nil
+}

@@ -1,0 +1,140 @@
+// Command rtroute builds a routing scheme over a generated network and
+// traces roundtrips interactively from the command line.
+//
+// Usage:
+//
+//	rtroute -n 32 -seed 7 -scheme stretch6 -src 3 -dst 17
+//	rtroute -n 64 -seed 1 -scheme exstretch -k 3 -src 0 -dst 42 -v
+//	rtroute -n 32 -seed 2 -scheme poly -k 2 -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"rtroute"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 32, "number of nodes")
+		seed   = flag.Int64("seed", 1, "random seed")
+		scheme = flag.String("scheme", "stretch6", "scheme: stretch6|exstretch|poly")
+		k      = flag.Int("k", 2, "tradeoff parameter for exstretch/poly")
+		src    = flag.Int("src", 0, "source NAME")
+		dst    = flag.Int("dst", 1, "destination NAME")
+		all    = flag.Bool("all", false, "route all ordered pairs and summarize")
+		graphT = flag.String("graph", "random", "graph family: random|ring|grid|scalefree|layered")
+		load   = flag.String("load", "", "load a graph from this file instead of generating one")
+		verbo  = flag.Bool("v", false, "print the full node path")
+	)
+	flag.Parse()
+
+	if err := run(*n, *seed, *scheme, *k, int32(*src), int32(*dst), *all, *graphT, *load, *verbo); err != nil {
+		fmt.Fprintln(os.Stderr, "rtroute:", err)
+		os.Exit(1)
+	}
+}
+
+func makeGraph(family string, n int, rng *rand.Rand) (*rtroute.Graph, error) {
+	switch family {
+	case "random":
+		return rtroute.RandomSC(n, 4*n, 8, rng), nil
+	case "ring":
+		return rtroute.Ring(n, rng), nil
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return rtroute.Grid(side, side, rng), nil
+	case "scalefree":
+		return rtroute.ScaleFreeSC(n, 2, 8, rng), nil
+	case "layered":
+		width := 4
+		layers := (n + width - 1) / width
+		if layers < 2 {
+			layers = 2
+		}
+		return rtroute.LayeredSC(layers, width, 8, rng), nil
+	default:
+		return nil, fmt.Errorf("unknown graph family %q", family)
+	}
+}
+
+func run(n int, seed int64, schemeName string, k int, src, dst int32, all bool, family, load string, verbose bool) error {
+	rng := rand.New(rand.NewSource(seed))
+	var (
+		g   *rtroute.Graph
+		err error
+	)
+	if load != "" {
+		f, err := os.Open(load)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		g, err = rtroute.ReadGraph(f)
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", load, err)
+		}
+		family = load
+	} else {
+		g, err = makeGraph(family, n, rng)
+		if err != nil {
+			return err
+		}
+	}
+	sys, err := rtroute.NewSystem(g, rtroute.RandomNaming(g.N(), rng))
+	if err != nil {
+		return err
+	}
+	var sch rtroute.Scheme
+	switch schemeName {
+	case "stretch6":
+		sch, err = sys.BuildStretchSix(seed)
+	case "exstretch":
+		sch, err = sys.BuildExStretch(k, seed)
+	case "poly":
+		sch, err = sys.BuildPolynomial(k)
+	default:
+		return fmt.Errorf("unknown scheme %q", schemeName)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("built %s over %d nodes / %d edges (%s graph); max table %d words, avg %.1f\n",
+		sch.SchemeName(), g.N(), g.M(), family, sch.MaxTableWords(), sch.AvgTableWords())
+
+	if all {
+		stats, err := rtroute.MeasureScheme(sys, sch, g.N()*(g.N()-1), seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("pairs: %d  max stretch: %.3f  mean: %.3f  p99: %.3f  max header: %d words\n",
+			stats.Pairs, stats.Max, stats.Mean, stats.P99, stats.MaxHeaderWords)
+		return nil
+	}
+
+	if int(src) >= g.N() || int(dst) >= g.N() || src < 0 || dst < 0 {
+		return fmt.Errorf("names must be in [0,%d)", g.N())
+	}
+	tr, err := sch.Roundtrip(src, dst)
+	if err != nil {
+		return err
+	}
+	r := sys.R(src, dst)
+	fmt.Printf("roundtrip %d -> %d -> %d\n", src, dst, src)
+	fmt.Printf("  optimal roundtrip distance: %d\n", r)
+	fmt.Printf("  routed weight:  %d (out %d + back %d)\n", tr.Weight(), tr.Out.Weight, tr.Back.Weight)
+	fmt.Printf("  hops:           %d (out %d + back %d)\n", tr.Hops(), tr.Out.Hops, tr.Back.Hops)
+	fmt.Printf("  stretch:        %.3f\n", sys.Stretch(src, dst, tr))
+	fmt.Printf("  max header:     %d words\n", tr.MaxHeaderWords())
+	if verbose {
+		fmt.Printf("  out path  (topological ids): %v\n", tr.Out.Path)
+		fmt.Printf("  back path (topological ids): %v\n", tr.Back.Path)
+	}
+	return nil
+}

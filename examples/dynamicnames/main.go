@@ -1,0 +1,60 @@
+// Dynamicnames demonstrates the TINN model's motivation (§1): node names
+// are decoupled from topology, so when the network re-labels every node —
+// peers churn, identifiers get reassigned — the SAME topology keeps
+// routing with the SAME guarantees after a table rebuild, and no
+// in-flight name ever has to encode coordinates.
+//
+// A topology-dependent scheme would have to re-address every packet in
+// flight; a TINN scheme only rebuilds local tables.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"rtroute"
+)
+
+func main() {
+	const n = 40
+	rng := rand.New(rand.NewSource(31))
+	g := rtroute.RandomSC(n, 4*n, 6, rng)
+
+	fmt.Printf("one topology (%d nodes, %d edges), three different namings:\n\n", g.N(), g.M())
+	fmt.Printf("%-12s %9s %9s %9s %10s\n", "naming", "maxS", "meanS", "p99S", "avgTblW")
+
+	namings := []struct {
+		label string
+		perm  *rtroute.Naming
+	}{
+		{"identity", rtroute.IdentityNaming(n)},
+		{"reversed", rtroute.ReversedNaming(n)},
+		{"epoch-2", rtroute.RandomNaming(n, rng)},
+	}
+
+	var prev rtroute.StretchStats
+	for i, nm := range namings {
+		sys, err := rtroute.NewSystem(g, nm.perm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scheme, err := sys.BuildStretchSix(17)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats, err := rtroute.MeasureScheme(sys, scheme, n*(n-1), 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %9.3f %9.3f %9.3f %10.1f\n",
+			nm.label, stats.Max, stats.Mean, stats.P99, scheme.AvgTableWords())
+		if i > 0 && (stats.Max > 6 || prev.Max > 6) {
+			log.Fatal("stretch bound depends on naming: TINN property broken")
+		}
+		prev = stats
+	}
+
+	fmt.Println("\nevery naming meets the same stretch-6 bound: names carry no topology,")
+	fmt.Println("so re-naming the whole network never degrades the routing guarantee.")
+}

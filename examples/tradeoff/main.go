@@ -1,0 +1,58 @@
+// Tradeoff sweeps the parameter k of both generalized schemes on one
+// network and prints the space/stretch tradeoff — the lower half of the
+// paper's Fig. 1, measured instead of asymptotic.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"rtroute"
+)
+
+func main() {
+	const n = 100
+	rng := rand.New(rand.NewSource(11))
+	g := rtroute.RandomSC(n, 5*n, 8, rng)
+	sys, err := rtroute.NewSystem(g, rtroute.RandomNaming(n, rng))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("space/stretch tradeoff on %d nodes, %d edges\n\n", g.N(), g.M())
+	fmt.Printf("%-16s %3s %10s %10s %9s %9s %9s\n",
+		"scheme", "k", "maxTblW", "avgTblW", "maxS", "meanS", "bound")
+
+	s6, err := sys.BuildStretchSix(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(sys, "stretch6", 2, s6, "6")
+
+	for _, k := range []int{2, 3, 4} {
+		ex, err := sys.BuildExStretch(k, int64(k))
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(sys, "exstretch", k, ex, fmt.Sprintf("(2^%d-1)*hop", k))
+	}
+	for _, k := range []int{2, 3} {
+		poly, err := sys.BuildPolynomial(k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(sys, "polystretch", k, poly, fmt.Sprintf("%d", 8*k*k+4*k-4))
+	}
+
+	fmt.Println("\nlarger k shrinks tables and grows stretch: the §3/§4 tradeoffs")
+}
+
+func report(sys *rtroute.System, name string, k int, sch rtroute.Scheme, bound string) {
+	stats, err := rtroute.MeasureScheme(sys, sch, 3000, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-16s %3d %10d %10.1f %9.3f %9.3f %9s\n",
+		name, k, sch.MaxTableWords(), sch.AvgTableWords(), stats.Max, stats.Mean, bound)
+}

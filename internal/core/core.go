@@ -1,0 +1,61 @@
+// Package core implements the paper's three TINN compact roundtrip
+// routing schemes:
+//
+//   - StretchSix (§2, Fig. 3): O~(sqrt n) tables, O(log^2 n) headers,
+//     roundtrip stretch 6, arbitrary positive edge weights.
+//   - ExStretch (§3, Figs. 4/6): O~(n^(1/k)) tables for fixed k, headers
+//     o(k log^2 n), stretch (2^k - 1) times the hop substrate's roundtrip
+//     stretch — the exponential tradeoff.
+//   - PolynomialStretch (§4, Figs. 9/11): O~(k^2 n^(2/k) log RTDiam)
+//     tables, stretch 8k^2 + 4k - 4 — the polynomial tradeoff.
+//
+// All three are TINN: node names are an adversarial permutation of
+// {0..n-1}; packets arrive carrying only the destination's name; routing
+// tables are keyed by name; everything topology-dependent is learned from
+// the distributed dictionary en route and written into the packet header.
+package core
+
+import (
+	"rtroute/internal/sim"
+)
+
+// Mode is the packet lifecycle marker used by all schemes' headers
+// (NewPacket / Outbound / ReturnPacket / Inbound of Figs. 3 and 6).
+type Mode int8
+
+const (
+	ModeNewPacket Mode = iota
+	ModeOutbound
+	ModeReturnPacket
+	ModeInbound
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNewPacket:
+		return "new"
+	case ModeOutbound:
+		return "outbound"
+	case ModeReturnPacket:
+		return "return"
+	case ModeInbound:
+		return "inbound"
+	default:
+		return "invalid"
+	}
+}
+
+// Scheme is the common interface of the three TINN roundtrip routing
+// schemes, written against names only: a caller routes to a destination
+// NAME, never to a topological index.
+type Scheme interface {
+	// SchemeName identifies the algorithm for reports.
+	SchemeName() string
+	// Roundtrip routes a packet from the node named srcName to the node
+	// named dstName and an acknowledgment back, returning both traces.
+	Roundtrip(srcName, dstName int32) (*sim.RoundtripTrace, error)
+	// MaxTableWords returns the largest local routing table in words.
+	MaxTableWords() int
+	// AvgTableWords returns the mean local routing table size in words.
+	AvgTableWords() float64
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"rtroute/internal/graph"
+	"rtroute/internal/names"
+)
+
+// TestParallelBuildDeterminism: per-node construction has no randomness,
+// so any worker count must produce byte-identical routing behavior.
+func TestParallelBuildDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.RandomSC(40, 160, 6, rng)
+	m := graph.AllPairs(g)
+	perm := names.Random(g.N(), rng)
+
+	buildS6 := func(workers int) *StretchSix {
+		s, err := NewStretchSix(g, m, perm, rand.New(rand.NewSource(2)), Stretch6Config{BuildWorkers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	buildEx := func(workers int) *ExStretch {
+		s, err := NewExStretch(g, m, perm, rand.New(rand.NewSource(3)), ExStretchConfig{K: 2, BuildWorkers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	buildPoly := func(workers int) *PolynomialStretch {
+		s, err := NewPolynomialStretch(g, m, perm, PolyConfig{K: 2, BuildWorkers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	pairsEqual := func(a, b Scheme) {
+		t.Helper()
+		for u := 0; u < g.N(); u += 3 {
+			for v := 1; v < g.N(); v += 4 {
+				if u == v {
+					continue
+				}
+				ta, err := a.Roundtrip(perm.Name(int32(u)), perm.Name(int32(v)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				tb, err := b.Roundtrip(perm.Name(int32(u)), perm.Name(int32(v)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ta.Weight() != tb.Weight() || ta.Hops() != tb.Hops() {
+					t.Fatalf("%s: worker counts disagree at (%d,%d): %d/%d vs %d/%d",
+						a.SchemeName(), u, v, ta.Weight(), ta.Hops(), tb.Weight(), tb.Hops())
+				}
+			}
+		}
+	}
+
+	pairsEqual(buildS6(1), buildS6(8))
+	pairsEqual(buildEx(1), buildEx(8))
+	pairsEqual(buildPoly(1), buildPoly(8))
+
+	// Table accounting must match too.
+	if a, b := buildS6(1).MaxTableWords(), buildS6(8).MaxTableWords(); a != b {
+		t.Fatalf("stretch6 table words differ: %d vs %d", a, b)
+	}
+	if a, b := buildEx(1).MaxTableWords(), buildEx(8).MaxTableWords(); a != b {
+		t.Fatalf("exstretch table words differ: %d vs %d", a, b)
+	}
+	if a, b := buildPoly(1).MaxTableWords(), buildPoly(8).MaxTableWords(); a != b {
+		t.Fatalf("poly table words differ: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rtroute/internal/blocks"
+	"rtroute/internal/graph"
+	"rtroute/internal/names"
+	"rtroute/internal/parallel"
+	"rtroute/internal/rtmetric"
+	"rtroute/internal/rtz"
+	"rtroute/internal/sim"
+)
+
+// StretchSix is the §2 scheme: a TINN compact roundtrip routing scheme
+// with O~(sqrt n) tables and stretch 6.
+//
+// Per-node storage (§2.1):
+//  1. for every v in N(u) — the first ceil(sqrt n) nodes of Init_u — the
+//     pair (name(v), R3(v));
+//  2. for every block index i, the name of a node t in N(u) with
+//     B_i in S_t (Lemma 1 guarantees one exists);
+//  3. for every block B in S_u and every name j in B, the pair
+//     (j, R3(node named j));
+//  4. the substrate table Tab3(u) of the stretch-3 name-dependent scheme.
+type StretchSix struct {
+	g         *graph.Graph
+	perm      *names.Permutation
+	sub       *rtz.Scheme
+	uni       blocks.Universe
+	viaSource bool
+	nodes     []*s6Table
+}
+
+type s6Table struct {
+	selfName int32
+	ownLabel rtz.Label
+	// labels merges storage items (1) and (3): destination name -> R3.
+	labels map[int32]rtz.Label
+	// blockHolder is storage item (2): block id -> name of a
+	// neighborhood node holding that block.
+	blockHolder []int32
+	// tab3 is storage item (4).
+	tab3 *rtz.Table
+
+	neighborEntries int // size of (1), for accounting
+}
+
+func (t *s6Table) words() int {
+	w := 2 + t.ownLabel.Words() + t.tab3.Words() + 2*len(t.blockHolder)
+	for _, l := range t.labels {
+		w += 1 + l.Words()
+	}
+	return w
+}
+
+// s6Stage tracks the ViaSource variant's progress through its
+// s -> w -> s -> t itinerary.
+type s6Stage int8
+
+const (
+	s6StageDirect s6Stage = iota
+	s6StageFetch
+	s6StageFetchReturn
+	s6StageFinal
+)
+
+// s6Header is the packet header of Fig. 3.
+type s6Header struct {
+	Mode     Mode
+	DestName int32
+	SrcName  int32
+	SrcLabel rtz.Label
+	DictName int32 // name of the dictionary waypoint w, -1 when direct
+	Stage    s6Stage
+	Fetched  rtz.Label // R3(t) fetched at w (ViaSource variant only)
+	Leg      rtz.Header
+	LegSet   bool
+}
+
+// Words implements sim.Header.
+func (h *s6Header) Words() int {
+	w := 6 + h.Leg.Words()
+	if h.Mode >= ModeOutbound {
+		w += h.SrcLabel.Words()
+	}
+	if h.Stage == s6StageFetchReturn || h.Stage == s6StageFinal {
+		w += h.Fetched.Words()
+	}
+	return w
+}
+
+var _ sim.Header = (*s6Header)(nil)
+var _ sim.Forwarder = (*StretchSix)(nil)
+var _ Scheme = (*StretchSix)(nil)
+
+// Stretch6Config tunes construction.
+type Stretch6Config struct {
+	// Blocks configures the Lemma 1 assignment.
+	Blocks blocks.Config
+	// Substrate configures the stretch-3 scheme.
+	Substrate rtz.Config
+	// ViaSource selects the variant discussed at the end of §2.2: route
+	// s -> w -> s to fetch the destination's address, then s -> t -> s.
+	// Same worst-case stretch 6, but "it can result in longer paths
+	// since it always routes back through s" — the E3 ablation measures
+	// exactly that.
+	ViaSource bool
+	// BuildWorkers parallelizes per-node table construction
+	// (0 = GOMAXPROCS, 1 = sequential). Output is identical either way.
+	BuildWorkers int
+}
+
+// NewStretchSix builds the scheme over g with naming perm.
+func NewStretchSix(g *graph.Graph, m *graph.Metric, perm *names.Permutation, rng *rand.Rand, cfg Stretch6Config) (*StretchSix, error) {
+	n := g.N()
+	if n < 2 {
+		return nil, fmt.Errorf("core: stretch-6 needs at least 2 nodes, got %d", n)
+	}
+	if perm.N() != n {
+		return nil, fmt.Errorf("core: naming covers %d nodes, graph has %d", perm.N(), n)
+	}
+	space := rtmetric.New(g, m, perm.Names)
+	sub, err := rtz.New(g, m, rng, cfg.Substrate)
+	if err != nil {
+		return nil, fmt.Errorf("core: stretch-3 substrate: %w", err)
+	}
+	bcfg := cfg.Blocks
+	bcfg.Names = perm.Names
+	assign, err := blocks.Assign(space, 2, rng, bcfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: block assignment: %w", err)
+	}
+
+	s := &StretchSix{g: g, perm: perm, sub: sub, uni: assign.U, viaSource: cfg.ViaSource, nodes: make([]*s6Table, n)}
+	nbhdSize := rtmetric.NeighborhoodSizes(n, 2)[1]
+	numBlocks := assign.U.NumBlocks()
+
+	// Per-node tables depend only on read-only shared state; fill the
+	// Init cache first, then build nodes in parallel.
+	space.Precompute(cfg.BuildWorkers)
+	err = parallel.ForEach(n, cfg.BuildWorkers, func(u int) error {
+		tab := &s6Table{
+			selfName:    perm.Name(int32(u)),
+			ownLabel:    sub.LabelOf(graph.NodeID(u)),
+			labels:      make(map[int32]rtz.Label),
+			blockHolder: make([]int32, numBlocks),
+			tab3:        sub.Tables[u],
+		}
+		for i := range tab.blockHolder {
+			tab.blockHolder[i] = -1
+		}
+		nbhd := space.Neighborhood(graph.NodeID(u), nbhdSize)
+		// (1) neighborhood dictionary.
+		for _, v := range nbhd {
+			tab.labels[perm.Name(int32(v))] = sub.LabelOf(v)
+		}
+		tab.neighborEntries = len(nbhd)
+		// (2) block holders: the Init_u-nearest holder in N(u).
+		for _, v := range nbhd {
+			for _, b := range assign.Sets[v] {
+				if tab.blockHolder[b] < 0 {
+					tab.blockHolder[b] = perm.Name(int32(v))
+				}
+			}
+		}
+		for b := 0; b < numBlocks; b++ {
+			// Blocks holding no real names need no holder; every block
+			// of a real name must be covered (Lemma 1).
+			if tab.blockHolder[b] < 0 && len(assign.U.NamesInBlock(blocks.BlockID(b))) > 0 {
+				return fmt.Errorf("core: node %d has no holder for block %d in its neighborhood", u, b)
+			}
+		}
+		// (3) dictionary entries of the blocks stored here.
+		for _, b := range assign.Sets[u] {
+			for _, nm := range assign.U.NamesInBlock(b) {
+				v := perm.Node(nm)
+				tab.labels[nm] = sub.LabelOf(graph.NodeID(v))
+			}
+		}
+		s.nodes[u] = tab
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SchemeName implements Scheme.
+func (s *StretchSix) SchemeName() string {
+	if s.viaSource {
+		return "stretch6(via-source)"
+	}
+	return "stretch6"
+}
+
+// Forward implements the Fig. 3 local routing algorithm.
+func (s *StretchSix) Forward(at graph.NodeID, header sim.Header) (graph.PortID, bool, error) {
+	h, ok := header.(*s6Header)
+	if !ok {
+		return 0, false, fmt.Errorf("core: stretch-6 got %T header", header)
+	}
+	tab := s.nodes[at]
+	nx := tab.selfName
+
+	switch h.Mode {
+	case ModeNewPacket:
+		h.Mode = ModeOutbound
+		h.SrcName = nx
+		h.SrcLabel = tab.ownLabel
+		h.DictName = -1
+		if h.DestName == nx {
+			return 0, true, nil
+		}
+		if lbl, ok := tab.labels[h.DestName]; ok {
+			h.Leg = rtz.Header{Dest: lbl.Node, Label: lbl, Phase: rtz.PhaseSeek}
+		} else {
+			if h.DestName < 0 || int(h.DestName) >= s.uni.N {
+				return 0, false, fmt.Errorf("core: destination name %d outside the name space [0,%d)", h.DestName, s.uni.N)
+			}
+			holder := tab.blockHolder[s.uni.BlockOf(h.DestName)]
+			if holder < 0 {
+				return 0, false, fmt.Errorf("core: no dictionary holder for name %d at source %d", h.DestName, nx)
+			}
+			lbl, ok := tab.labels[holder]
+			if !ok {
+				return 0, false, fmt.Errorf("core: holder %d for name %d not in neighborhood table of %d", holder, h.DestName, nx)
+			}
+			h.DictName = holder
+			if s.viaSource {
+				h.Stage = s6StageFetch
+			}
+			h.Leg = rtz.Header{Dest: lbl.Node, Label: lbl, Phase: rtz.PhaseSeek}
+		}
+		h.LegSet = true
+
+	case ModeReturnPacket:
+		h.Mode = ModeInbound
+		if nx == h.SrcName {
+			return 0, true, nil
+		}
+		h.Leg = rtz.Header{Dest: h.SrcLabel.Node, Label: h.SrcLabel, Phase: rtz.PhaseSeek}
+		h.LegSet = true
+
+	case ModeOutbound:
+		switch {
+		case nx == h.DestName:
+			return 0, true, nil
+		case nx == h.DictName:
+			// Remote dictionary lookup (Fig. 3's DictID branch).
+			lbl, ok := tab.labels[h.DestName]
+			if !ok {
+				return 0, false, fmt.Errorf("core: dictionary node %d lacks entry for %d", nx, h.DestName)
+			}
+			h.DictName = -1
+			if h.Stage == s6StageFetch {
+				// §2.2 variant: carry R3(t) back to the source first.
+				h.Fetched = lbl
+				h.Stage = s6StageFetchReturn
+				h.Leg = rtz.Header{Dest: h.SrcLabel.Node, Label: h.SrcLabel, Phase: rtz.PhaseSeek}
+			} else {
+				h.Leg = rtz.Header{Dest: lbl.Node, Label: lbl, Phase: rtz.PhaseSeek}
+			}
+		case nx == h.SrcName && h.Stage == s6StageFetchReturn:
+			// Back at the source with the fetched address: head to t.
+			h.Stage = s6StageFinal
+			h.Leg = rtz.Header{Dest: h.Fetched.Node, Label: h.Fetched, Phase: rtz.PhaseSeek}
+		}
+
+	case ModeInbound:
+		if nx == h.SrcName {
+			return 0, true, nil
+		}
+
+	default:
+		return 0, false, fmt.Errorf("core: invalid mode %v", h.Mode)
+	}
+
+	if !h.LegSet {
+		return 0, false, fmt.Errorf("core: packet at %d has no active leg", nx)
+	}
+	port, delivered, err := rtz.Forward(tab.tab3, &h.Leg)
+	if err != nil {
+		return 0, false, err
+	}
+	if delivered {
+		// The substrate thinks the leg target is here, but the mode
+		// logic above did not recognize this node as a waypoint: the
+		// name/label tables disagree, which is a construction bug.
+		return 0, false, fmt.Errorf("core: leg delivered at %d without waypoint match", nx)
+	}
+	return port, false, nil
+}
+
+// Roundtrip implements Scheme: it routes srcName -> dstName and the
+// acknowledgment back, as two sim runs sharing one header (the reply
+// reuses the topology learned on the way out, §1.1.1).
+func (s *StretchSix) Roundtrip(srcName, dstName int32) (*sim.RoundtripTrace, error) {
+	src := graph.NodeID(s.perm.Node(srcName))
+	dst := graph.NodeID(s.perm.Node(dstName))
+	h := &s6Header{Mode: ModeNewPacket, DestName: dstName, DictName: -1}
+	out, err := sim.Run(s.g, s, src, h, 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: outbound %d->%d: %w", srcName, dstName, err)
+	}
+	if last := out.Path[len(out.Path)-1]; last != dst {
+		return nil, fmt.Errorf("core: outbound %d->%d delivered at wrong node %d", srcName, dstName, last)
+	}
+	h.Mode = ModeReturnPacket
+	back, err := sim.Run(s.g, s, dst, h, 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: return %d->%d: %w", dstName, srcName, err)
+	}
+	if last := back.Path[len(back.Path)-1]; last != src {
+		return nil, fmt.Errorf("core: return %d->%d delivered at wrong node %d", dstName, srcName, last)
+	}
+	return &sim.RoundtripTrace{Out: out, Back: back}, nil
+}
+
+// MaxTableWords implements Scheme.
+func (s *StretchSix) MaxTableWords() int {
+	m := 0
+	for _, t := range s.nodes {
+		if w := t.words(); w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// AvgTableWords implements Scheme.
+func (s *StretchSix) AvgTableWords() float64 {
+	total := 0
+	for _, t := range s.nodes {
+		total += t.words()
+	}
+	return float64(total) / float64(len(s.nodes))
+}
+
+// NeighborhoodEntries reports the size of storage item (1) at each node,
+// for the space-accounting experiments.
+func (s *StretchSix) NeighborhoodEntries(v graph.NodeID) int { return s.nodes[v].neighborEntries }

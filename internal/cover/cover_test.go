@@ -1,0 +1,338 @@
+package cover
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rtroute/internal/graph"
+)
+
+func rtMetric(m *graph.Metric) Metric {
+	return func(u, v graph.NodeID) graph.Dist { return m.R(u, v) }
+}
+
+// inducedRTRadius computes the exact roundtrip radius of the cluster from
+// its seed center within the induced subgraph — the quantity Theorem 10
+// property 2 bounds by (2k-1)d.
+func inducedRTRadius(g *graph.Graph, c Cluster) graph.Dist {
+	inSet := make(map[graph.NodeID]bool, len(c.Nodes))
+	for _, v := range c.Nodes {
+		inSet[v] = true
+	}
+	sub := graph.New(g.N())
+	for _, v := range c.Nodes {
+		for _, e := range g.Out(v) {
+			if inSet[e.To] {
+				sub.MustAddEdge(v, e.To, e.Weight)
+			}
+		}
+	}
+	from := graph.Dijkstra(sub, c.Center)
+	to := graph.DijkstraRev(sub, c.Center)
+	var rad graph.Dist
+	for _, v := range c.Nodes {
+		if from.Dist[v] >= graph.Inf || to.Dist[v] >= graph.Inf {
+			return graph.Inf
+		}
+		if r := from.Dist[v] + to.Dist[v]; r > rad {
+			rad = r
+		}
+	}
+	return rad
+}
+
+// TestCoverTheorem10 verifies all three properties of Theorem 10 on
+// random strongly connected digraphs for several (k, d) combinations.
+// This regenerates experiment E5 (Figs. 7-8).
+func TestCoverTheorem10(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 3; trial++ {
+		g := graph.RandomSC(48, 144, 6, rng)
+		m := graph.AllPairs(g)
+		dm := rtMetric(m)
+		for _, k := range []int{2, 3} {
+			for _, d := range []graph.Dist{2, 5, 10, m.RTDiam()} {
+				res, err := Build(g, dm, k, d)
+				if err != nil {
+					t.Fatalf("trial %d k=%d d=%d: %v", trial, k, d, err)
+				}
+				// Property 1: home cluster contains Nhat_d(v).
+				for v := 0; v < g.N(); v++ {
+					home := res.HomeCluster(graph.NodeID(v))
+					inHome := make(map[graph.NodeID]bool)
+					for _, u := range home.Nodes {
+						inHome[u] = true
+					}
+					for u := 0; u < g.N(); u++ {
+						if dm(graph.NodeID(v), graph.NodeID(u)) <= d && !inHome[graph.NodeID(u)] {
+							t.Fatalf("k=%d d=%d: home of %d misses ball member %d", k, d, v, u)
+						}
+					}
+				}
+				// Property 2: induced roundtrip radius <= (2k-1)d.
+				bound := graph.Dist(2*k-1) * d
+				for ci, c := range res.Clusters {
+					if rad := inducedRTRadius(g, c); rad > bound {
+						t.Fatalf("k=%d d=%d: cluster %d radius %d > bound %d", k, d, ci, rad, bound)
+					}
+				}
+				// Property 3: overlap <= 2k * n^(1/k).
+				overlapBound := int(math.Ceil(2 * float64(k) * math.Pow(float64(g.N()), 1/float64(k))))
+				if got := res.MaxOverlap(g.N()); got > overlapBound {
+					t.Fatalf("k=%d d=%d: max overlap %d > bound %d", k, d, got, overlapBound)
+				}
+			}
+		}
+	}
+}
+
+func TestCoverClustersAreStronglyConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.RandomSC(40, 100, 8, rng)
+	m := graph.AllPairs(g)
+	res, err := Build(g, rtMetric(m), 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, c := range res.Clusters {
+		if inducedRTRadius(g, c) >= graph.Inf {
+			t.Fatalf("cluster %d does not induce a strongly connected subgraph", ci)
+		}
+	}
+}
+
+func TestCoverOnRing(t *testing.T) {
+	// On an n-ring every roundtrip distance is n, so a ball of radius
+	// d < n is a singleton, and one of radius >= n is everything.
+	g := graph.Ring(10, nil)
+	m := graph.AllPairs(g)
+	res, err := Build(g, rtMetric(m), 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Clusters {
+		if len(c.Nodes) != 1 {
+			t.Fatalf("ring with d < n should give singleton clusters, got %d nodes", len(c.Nodes))
+		}
+	}
+	if len(res.Clusters) != 10 {
+		t.Fatalf("expected 10 singleton clusters, got %d", len(res.Clusters))
+	}
+
+	res2, err := Build(g, rtMetric(m), 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Balls of radius n cover everything; the merged cluster must be V.
+	if got := len(res2.HomeCluster(0).Nodes); got != 10 {
+		t.Fatalf("home cluster size = %d, want 10", got)
+	}
+}
+
+func TestCoverInputValidation(t *testing.T) {
+	g := graph.Ring(4, nil)
+	m := graph.AllPairs(g)
+	if _, err := Build(g, rtMetric(m), 1, 2); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := Build(g, rtMetric(m), 2, 0); err == nil {
+		t.Fatal("d=0 accepted")
+	}
+}
+
+func TestBallGrowingCover(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.RandomSC(40, 120, 5, rng)
+	m := graph.AllPairs(g)
+	dm := rtMetric(m)
+	for _, k := range []int{2, 3} {
+		d := graph.Dist(4)
+		res, err := BuildBallGrowing(g, dm, k, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Home cluster contains Nhat_d(v) for every v (core property).
+		for v := 0; v < g.N(); v++ {
+			home := res.HomeCluster(graph.NodeID(v))
+			inHome := make(map[graph.NodeID]bool)
+			for _, u := range home.Nodes {
+				inHome[u] = true
+			}
+			for u := 0; u < g.N(); u++ {
+				if dm(graph.NodeID(v), graph.NodeID(u)) <= d && !inHome[graph.NodeID(u)] {
+					t.Fatalf("k=%d: ball-growing home of %d misses %d", k, v, u)
+				}
+			}
+		}
+		// Radius bound (k+1)d from the seed.
+		bound := graph.Dist(k+1) * d
+		for ci, c := range res.Clusters {
+			if rad := inducedRTRadius(g, c); rad > bound {
+				t.Fatalf("k=%d: ball-growing cluster %d radius %d > %d", k, ci, rad, bound)
+			}
+		}
+	}
+}
+
+func TestScalesLadder(t *testing.T) {
+	s := Scales(100, 2)
+	want := []graph.Dist{2, 4, 8, 16, 32, 64, 128}
+	if len(s) != len(want) {
+		t.Fatalf("Scales(100,2) = %v, want %v", s, want)
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("Scales(100,2) = %v, want %v", s, want)
+		}
+	}
+	// Strictly increasing and reaching the diameter for fractional bases.
+	s = Scales(57, 1.5)
+	for i := 0; i+1 < len(s); i++ {
+		if s[i] >= s[i+1] {
+			t.Fatalf("Scales(57,1.5) not strictly increasing: %v", s)
+		}
+	}
+	if s[len(s)-1] < 57 {
+		t.Fatalf("Scales(57,1.5) does not reach the diameter: %v", s)
+	}
+	// Tiny diameters still get one level.
+	if got := Scales(1, 2); len(got) != 1 || got[0] < 1 {
+		t.Fatalf("Scales(1,2) = %v", got)
+	}
+}
+
+func TestHierarchyHomeTreeSpansBall(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.RandomSC(36, 108, 4, rng)
+	m := graph.AllPairs(g)
+	h, err := BuildHierarchy(g, m, 2, 2, VariantAwerbuchPeleg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lvl := range h.Levels {
+		for v := 0; v < g.N(); v++ {
+			ht := lvl.HomeTree(graph.NodeID(v))
+			for u := 0; u < g.N(); u++ {
+				if m.R(graph.NodeID(v), graph.NodeID(u)) <= lvl.Scale && !ht.Contains(graph.NodeID(u)) {
+					t.Fatalf("scale %d: home tree of %d misses Nhat member %d", lvl.Scale, v, u)
+				}
+			}
+		}
+	}
+}
+
+func TestHierarchyTreeHeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.RandomSC(36, 108, 4, rng)
+	m := graph.AllPairs(g)
+	k := 2
+	h, err := BuildHierarchy(g, m, k, 2, VariantAwerbuchPeleg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lvl := range h.Levels {
+		bound := graph.Dist(2*k-1) * lvl.Scale
+		for ti, tr := range lvl.Trees {
+			if tr.RTHeight() > bound {
+				t.Fatalf("scale %d tree %d: RTHeight %d > (2k-1)*scale = %d",
+					lvl.Scale, ti, tr.RTHeight(), bound)
+			}
+		}
+	}
+}
+
+func TestHierarchyTopLevelSpansV(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := graph.RandomSC(30, 90, 6, rng)
+	m := graph.AllPairs(g)
+	h, err := BuildHierarchy(g, m, 2, 2, VariantAwerbuchPeleg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := h.Levels[len(h.Levels)-1]
+	for v := 0; v < g.N(); v++ {
+		ht := top.HomeTree(graph.NodeID(v))
+		if len(ht.Members) != g.N() {
+			t.Fatalf("top-level home tree of %d has %d members, want %d", v, len(ht.Members), g.N())
+		}
+	}
+}
+
+func TestBestTreeGuarantee(t *testing.T) {
+	// For every pair (u,v), BestTree must return a tree whose
+	// root-roundtrip cost is at most 2*(2k-1)*scale where scale is the
+	// first level covering r(u,v) — the R2/Hop guarantee the §3 scheme
+	// relies on.
+	rng := rand.New(rand.NewSource(7))
+	g := graph.RandomSC(32, 96, 5, rng)
+	m := graph.AllPairs(g)
+	k := 2
+	h, err := BuildHierarchy(g, m, k, 2, VariantAwerbuchPeleg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			if u == v {
+				continue
+			}
+			_, cost, ok := h.BestTree(graph.NodeID(u), graph.NodeID(v))
+			if !ok {
+				t.Fatalf("no shared tree for (%d,%d)", u, v)
+			}
+			r := m.R(graph.NodeID(u), graph.NodeID(v))
+			var scale graph.Dist = -1
+			for _, lvl := range h.Levels {
+				if lvl.Scale >= r {
+					scale = lvl.Scale
+					break
+				}
+			}
+			if scale < 0 {
+				t.Fatalf("no level covers r(%d,%d) = %d", u, v, r)
+			}
+			bound := 2 * graph.Dist(2*k-1) * scale
+			if cost > bound {
+				t.Fatalf("BestTree(%d,%d) cost %d > bound %d (r=%d scale=%d)", u, v, cost, bound, r, scale)
+			}
+		}
+	}
+}
+
+func TestMembershipsAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := graph.RandomSC(30, 90, 4, rng)
+	m := graph.AllPairs(g)
+	h, err := BuildHierarchy(g, m, 2, 2, VariantAwerbuchPeleg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		for _, ref := range h.Memberships(graph.NodeID(v)) {
+			if !h.Tree(ref).Contains(graph.NodeID(v)) {
+				t.Fatalf("membership %v does not contain %d", ref, v)
+			}
+		}
+	}
+	if h.MaxMemberships() == 0 {
+		t.Fatal("no memberships recorded")
+	}
+	// Per-level overlap bound propagates: max memberships <= levels * 2k*n^(1/k).
+	perLevel := int(math.Ceil(2 * 2 * math.Sqrt(float64(g.N()))))
+	if h.MaxMemberships() > len(h.Levels)*perLevel {
+		t.Fatalf("max memberships %d exceeds levels*bound = %d", h.MaxMemberships(), len(h.Levels)*perLevel)
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if VariantAwerbuchPeleg.String() != "awerbuch-peleg" {
+		t.Fatal("bad string for AP variant")
+	}
+	if VariantBallGrowing.String() != "ball-growing" {
+		t.Fatal("bad string for ball-growing variant")
+	}
+	if Variant(99).String() == "" {
+		t.Fatal("unknown variant should still stringify")
+	}
+}

@@ -1,0 +1,195 @@
+package cover
+
+import (
+	"fmt"
+	"math"
+
+	"rtroute/internal/graph"
+	"rtroute/internal/tree"
+)
+
+// TreeRef names one double-tree in a Hierarchy: level index and tree
+// index within the level. TreeRefs are the "identifiers for double-trees"
+// the §4 scheme stores and writes into headers (poly-log bits).
+type TreeRef struct {
+	Level int32
+	Index int32
+}
+
+// Level is one scale of the Theorem 13 hierarchy: a sparse cover at
+// roundtrip radius Scale, with a double-tree per cluster and each node's
+// home tree.
+type Level struct {
+	Scale graph.Dist
+	Cover *Result
+	Trees []*tree.Tree
+}
+
+// HomeTree returns v's home double-tree at this level, guaranteed to
+// span Nhat_Scale(v) (Theorem 13 property 1).
+func (l *Level) HomeTree(v graph.NodeID) *tree.Tree {
+	return l.Trees[l.Cover.Home[v]]
+}
+
+// Hierarchy is the full §4 structure: covers at geometrically increasing
+// roundtrip scales, double-trees on every cluster, and per-node tree
+// memberships for storage accounting.
+type Hierarchy struct {
+	K      int
+	Base   float64
+	Levels []Level
+
+	memberships [][]TreeRef
+}
+
+// Variant selects the cover construction for a hierarchy.
+type Variant int
+
+const (
+	// VariantAwerbuchPeleg is the paper's Theorem 10 cover (Figs. 7–8):
+	// radius (2k-1)d, overlap 2k*n^(1/k), home tree spans Nhat_d(v).
+	VariantAwerbuchPeleg Variant = iota
+	// VariantBallGrowing is the §4.4 ablation: radius (k+1)d, no
+	// deterministic overlap bound.
+	VariantBallGrowing
+)
+
+func (v Variant) String() string {
+	switch v {
+	case VariantAwerbuchPeleg:
+		return "awerbuch-peleg"
+	case VariantBallGrowing:
+		return "ball-growing"
+	default:
+		return fmt.Sprintf("variant(%d)", int(v))
+	}
+}
+
+// Scales returns the geometric scale ladder 2, ceil(base^2)... capped at
+// the first value >= rtDiam. The ladder always has at least one level and
+// strictly increases.
+func Scales(rtDiam graph.Dist, base float64) []graph.Dist {
+	if base < 1.01 {
+		base = 1.01
+	}
+	if rtDiam < 2 {
+		rtDiam = 2
+	}
+	var scales []graph.Dist
+	x := 2.0
+	for {
+		s := graph.Dist(math.Ceil(x))
+		if len(scales) == 0 || s > scales[len(scales)-1] {
+			scales = append(scales, s)
+		}
+		if s >= rtDiam {
+			return scales
+		}
+		x *= base
+	}
+}
+
+// BuildHierarchy constructs covers and double-trees at every scale of the
+// ladder for the roundtrip metric of m. base is the scale ratio (the
+// paper uses 2; §4.4 notes 1+eps tightens the hop stretch at the price of
+// more levels).
+func BuildHierarchy(g *graph.Graph, m *graph.Metric, k int, base float64, variant Variant) (*Hierarchy, error) {
+	rt := func(u, v graph.NodeID) graph.Dist { return m.R(u, v) }
+	h := &Hierarchy{K: k, Base: base, memberships: make([][]TreeRef, g.N())}
+	for li, scale := range Scales(m.RTDiam(), base) {
+		var (
+			res *Result
+			err error
+		)
+		switch variant {
+		case VariantAwerbuchPeleg:
+			res, err = Build(g, rt, k, scale)
+		case VariantBallGrowing:
+			res, err = BuildBallGrowing(g, rt, k, scale)
+		default:
+			return nil, fmt.Errorf("cover: unknown variant %v", variant)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("cover: level %d (scale %d): %w", li, scale, err)
+		}
+		lvl := Level{Scale: scale, Cover: res, Trees: make([]*tree.Tree, len(res.Clusters))}
+		for ci, c := range res.Clusters {
+			t, err := tree.BuildDouble(g, c.Center, c.Nodes)
+			if err != nil {
+				return nil, fmt.Errorf("cover: level %d cluster %d: %w", li, ci, err)
+			}
+			lvl.Trees[ci] = t
+			for _, v := range c.Nodes {
+				h.memberships[v] = append(h.memberships[v], TreeRef{Level: int32(li), Index: int32(ci)})
+			}
+		}
+		h.Levels = append(h.Levels, lvl)
+	}
+	return h, nil
+}
+
+// Tree resolves a TreeRef.
+func (h *Hierarchy) Tree(ref TreeRef) *tree.Tree {
+	return h.Levels[ref.Level].Trees[ref.Index]
+}
+
+// N returns the number of nodes the hierarchy was built over.
+func (h *Hierarchy) N() int { return len(h.memberships) }
+
+// Memberships returns all trees containing v across all levels; callers
+// must not modify the slice. Its length is the per-node tree count the
+// storage analysis charges for.
+func (h *Hierarchy) Memberships(v graph.NodeID) []TreeRef {
+	return h.memberships[v]
+}
+
+// MaxMemberships returns the largest per-node tree count across the whole
+// hierarchy (Theorem 13 property 3 times the number of levels).
+func (h *Hierarchy) MaxMemberships() int {
+	m := 0
+	for _, refs := range h.memberships {
+		if len(refs) > m {
+			m = len(refs)
+		}
+	}
+	return m
+}
+
+// RoundtripViaRoot returns the cost of the route u -> root -> v -> root
+// -> u inside tree t, the "Hop" roundtrip of §3, or false if either node
+// is outside the tree.
+func RoundtripViaRoot(t *tree.Tree, u, v graph.NodeID) (graph.Dist, bool) {
+	du, ok1 := t.DistTo(u)
+	fu, ok2 := t.DistFrom(u)
+	dv, ok3 := t.DistTo(v)
+	fv, ok4 := t.DistFrom(v)
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		return 0, false
+	}
+	return du + fu + dv + fv, true
+}
+
+// BestTree returns the shared tree minimizing RoundtripViaRoot(u,v) —
+// the "most convenient double tree" of §3.3's R2(u,v) — or false if no
+// tree contains both (cannot happen for a full hierarchy, whose top level
+// spans V). The home-tree guarantee bounds the returned cost by
+// 2*(2k-1)*scale at u's first level whose scale reaches r(u,v).
+func (h *Hierarchy) BestTree(u, v graph.NodeID) (TreeRef, graph.Dist, bool) {
+	var (
+		bestRef  TreeRef
+		bestCost graph.Dist = graph.Inf
+		found    bool
+	)
+	for _, ref := range h.memberships[u] {
+		t := h.Tree(ref)
+		cost, ok := RoundtripViaRoot(t, u, v)
+		if ok && (cost < bestCost || (cost == bestCost && less(ref, bestRef))) {
+			bestRef, bestCost, found = ref, cost, true
+		}
+	}
+	return bestRef, bestCost, found
+}
+
+func less(a, b TreeRef) bool {
+	return a.Level < b.Level || (a.Level == b.Level && a.Index < b.Index)
+}

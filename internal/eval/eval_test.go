@@ -1,0 +1,97 @@
+package eval
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rtroute/internal/graph"
+)
+
+func TestPairsExhaustiveWhenSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pairs := Pairs(5, 1000, rng)
+	if len(pairs) != 20 {
+		t.Fatalf("got %d pairs, want 20", len(pairs))
+	}
+	seen := map[[2]graph.NodeID]bool{}
+	for _, p := range pairs {
+		if p[0] == p[1] {
+			t.Fatal("self pair emitted")
+		}
+		if seen[p] {
+			t.Fatal("duplicate pair in exhaustive enumeration")
+		}
+		seen[p] = true
+	}
+}
+
+func TestPairsSampledWhenLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pairs := Pairs(100, 50, rng)
+	if len(pairs) != 50 {
+		t.Fatalf("got %d pairs, want 50", len(pairs))
+	}
+	for _, p := range pairs {
+		if p[0] == p[1] {
+			t.Fatal("self pair sampled")
+		}
+	}
+}
+
+// TestFig1Regeneration is experiment E1: all rows build, every measured
+// stretch respects its theoretical bound, and the TINN schemes' tables
+// stay sublinear.
+func TestFig1Regeneration(t *testing.T) {
+	rows, err := Fig1(Fig1Config{N: 36, Seed: 3, Ks: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // rtz, stretch6, exstretch k=2, poly k=2
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	bounds := map[string]float64{
+		"rtz-stretch3 [35]":               3,
+		"stretch6 (this paper §2)":        6,
+		"exstretch k=2 (this paper §3)":   3 * 12, // (2^2-1) * hop bound 2*(2k-1)*2
+		"polystretch k=2 (this paper §4)": 36,     // 8*4+8-4
+	}
+	for _, r := range rows {
+		b, ok := bounds[r.Scheme]
+		if !ok {
+			t.Fatalf("unexpected row %q", r.Scheme)
+		}
+		if r.Measured.Max > b {
+			t.Fatalf("%s measured max stretch %.3f exceeds bound %.0f", r.Scheme, r.Measured.Max, b)
+		}
+		if r.Measured.Mean < 1 {
+			t.Fatalf("%s mean stretch %.3f below 1", r.Scheme, r.Measured.Mean)
+		}
+		if r.MaxTableWords <= 0 {
+			t.Fatalf("%s has empty tables", r.Scheme)
+		}
+	}
+	out := FormatRows(rows)
+	if !strings.Contains(out, "stretch6") || !strings.Contains(out, "tinn") {
+		t.Fatalf("formatted table missing columns:\n%s", out)
+	}
+}
+
+func TestSpaceSweep(t *testing.T) {
+	pts, err := SpaceSweep([]int{25, 49}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	for _, p := range pts {
+		if p.AvgTableWords <= 0 || p.MaxTableWords < int(p.AvgTableWords) {
+			t.Fatalf("degenerate space point %+v", p)
+		}
+	}
+	out := FormatSpacePoints(pts)
+	if !strings.Contains(out, "avg/sqrt(n)") {
+		t.Fatalf("formatted sweep missing normalization column:\n%s", out)
+	}
+}

@@ -1,0 +1,80 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rtroute/internal/graph"
+	"rtroute/internal/names"
+)
+
+// ProfileBucket aggregates measured stretch over one roundtrip-distance
+// quantile — the "where does the scheme pay" series: dictionary detours
+// hurt nearby destinations relatively more, which is exactly the
+// neighborhood-size tradeoff the paper's schemes tune.
+type ProfileBucket struct {
+	RMin, RMax  graph.Dist
+	Pairs       int
+	MeanStretch float64
+	MaxStretch  float64
+}
+
+// ProfileByDistance measures the roundtrip function over the pairs and
+// buckets stretch by quantiles of the true roundtrip distance.
+func ProfileByDistance(m *graph.Metric, perm *names.Permutation, rt RoundtripFunc, pairs [][2]graph.NodeID, buckets int) ([]ProfileBucket, error) {
+	if buckets < 1 {
+		buckets = 4
+	}
+	type sample struct {
+		r       graph.Dist
+		stretch float64
+	}
+	samples := make([]sample, 0, len(pairs))
+	for _, p := range pairs {
+		trace, err := rt(perm.Name(int32(p[0])), perm.Name(int32(p[1])))
+		if err != nil {
+			return nil, fmt.Errorf("eval: profile pair (%d,%d): %w", p[0], p[1], err)
+		}
+		r := m.R(p[0], p[1])
+		if r <= 0 {
+			return nil, fmt.Errorf("eval: degenerate pair (%d,%d)", p[0], p[1])
+		}
+		samples = append(samples, sample{r: r, stretch: float64(trace.Weight()) / float64(r)})
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].r < samples[j].r })
+
+	if buckets > len(samples) {
+		buckets = len(samples)
+	}
+	out := make([]ProfileBucket, 0, buckets)
+	for b := 0; b < buckets; b++ {
+		lo := b * len(samples) / buckets
+		hi := (b + 1) * len(samples) / buckets
+		if lo >= hi {
+			continue
+		}
+		bucket := ProfileBucket{RMin: samples[lo].r, RMax: samples[hi-1].r, Pairs: hi - lo}
+		var sum float64
+		for _, s := range samples[lo:hi] {
+			sum += s.stretch
+			if s.stretch > bucket.MaxStretch {
+				bucket.MaxStretch = s.stretch
+			}
+		}
+		bucket.MeanStretch = sum / float64(bucket.Pairs)
+		out = append(out, bucket)
+	}
+	return out, nil
+}
+
+// FormatProfile renders a distance profile as an aligned table.
+func FormatProfile(buckets []ProfileBucket) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %8s %10s %10s\n", "r(s,t) range", "pairs", "meanS", "maxS")
+	for _, bk := range buckets {
+		fmt.Fprintf(&b, "[%6d, %6d]    %8d %10.3f %10.3f\n",
+			bk.RMin, bk.RMax, bk.Pairs, bk.MeanStretch, bk.MaxStretch)
+	}
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package eval
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rtroute/internal/core"
+	"rtroute/internal/graph"
+	"rtroute/internal/names"
+)
+
+func TestProfileByDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.RandomSC(40, 160, 8, rng)
+	m := graph.AllPairs(g)
+	perm := names.Random(g.N(), rng)
+	s6, err := core.NewStretchSix(g, m, perm, rng, core.Stretch6Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := Pairs(g.N(), 2000, rng)
+	buckets, err := ProfileByDistance(m, perm, s6.Roundtrip, pairs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buckets) != 4 {
+		t.Fatalf("got %d buckets, want 4", len(buckets))
+	}
+	total := 0
+	for i, b := range buckets {
+		total += b.Pairs
+		if b.MeanStretch < 1 || b.MaxStretch > 6 {
+			t.Fatalf("bucket %d implausible: %+v", i, b)
+		}
+		if b.RMin > b.RMax {
+			t.Fatalf("bucket %d range inverted: %+v", i, b)
+		}
+		if i > 0 && b.RMin < buckets[i-1].RMin {
+			t.Fatalf("buckets not sorted by distance")
+		}
+	}
+	if total != len(pairs) {
+		t.Fatalf("buckets cover %d pairs, want %d", total, len(pairs))
+	}
+	out := FormatProfile(buckets)
+	if !strings.Contains(out, "r(s,t) range") {
+		t.Fatalf("formatted profile missing header:\n%s", out)
+	}
+}
+
+func TestProfileBucketClamping(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.RandomSC(10, 40, 3, rng)
+	m := graph.AllPairs(g)
+	perm := names.Identity(g.N())
+	s6, err := core.NewStretchSix(g, m, perm, rng, core.Stretch6Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := Pairs(g.N(), 5, rng)
+	// More buckets than pairs: must clamp, not crash.
+	buckets, err := ProfileByDistance(m, perm, s6.Roundtrip, pairs, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buckets) == 0 || len(buckets) > 5 {
+		t.Fatalf("bucket clamping broken: %d buckets for 5 pairs", len(buckets))
+	}
+	// Zero buckets requested: default applies.
+	if _, err := ProfileByDistance(m, perm, s6.Roundtrip, pairs, 0); err != nil {
+		t.Fatal(err)
+	}
+}

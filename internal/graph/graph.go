@@ -1,0 +1,219 @@
+// Package graph implements the directed weighted graph substrate used by
+// every routing scheme in this repository: strongly connected digraphs with
+// positive integer edge weights, adversarial fixed-port edge labels,
+// shortest-path machinery (forward and reverse Dijkstra, all-pairs), and
+// Tarjan strong-connectivity checking.
+//
+// Weights are int64 so that all distance arithmetic — and therefore every
+// stretch-bound check in the test suite — is exact. The paper's weight
+// model (positive reals in [1, W]) is faithfully represented: any rational
+// instance can be scaled to integers without changing shortest paths.
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dist is an exact (integer) path length. Roundtrip distances, cluster
+// radii and stretch-bound checks are all computed in Dist arithmetic.
+type Dist = int64
+
+// Inf is the distance between unreachable pairs. It is far below the
+// int64 overflow threshold so that Inf+Inf does not wrap.
+const Inf Dist = math.MaxInt64 / 4
+
+// NodeID indexes a vertex. In the TINN model the *topological* index used
+// by package graph is distinct from the node's *name*; see internal/names.
+type NodeID = int32
+
+// PortID is an adversarial local edge label (fixed-port model, §1.1.3 of
+// the paper): unique per node among its out-edges, drawn from a set of
+// size O(n), with no global consistency.
+type PortID = int32
+
+// Edge is a directed edge as seen from its tail.
+type Edge struct {
+	To     NodeID
+	Weight Dist
+	Port   PortID
+}
+
+// InEdge is a directed edge as seen from its head.
+type InEdge struct {
+	From   NodeID
+	Weight Dist
+}
+
+// Graph is a directed graph with positive weights and fixed-port labels.
+// The zero value is an empty graph; use New to create one with n nodes.
+type Graph struct {
+	out [][]Edge
+	in  [][]InEdge
+	m   int
+}
+
+// New returns an empty graph on n nodes.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	return &Graph{
+		out: make([][]Edge, n),
+		in:  make([][]InEdge, n),
+	}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.out) }
+
+// M returns the number of directed edges.
+func (g *Graph) M() int { return g.m }
+
+// AddEdge inserts the directed edge (u, v) with weight w. The edge's port
+// label defaults to the current out-degree of u; AssignPorts can later
+// re-label all ports adversarially. AddEdge rejects self-loops,
+// non-positive weights, duplicate edges and out-of-range endpoints.
+func (g *Graph) AddEdge(u, v NodeID, w Dist) error {
+	n := NodeID(g.N())
+	switch {
+	case u < 0 || u >= n || v < 0 || v >= n:
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, n)
+	case u == v:
+		return fmt.Errorf("graph: self-loop at %d", u)
+	case w <= 0:
+		return fmt.Errorf("graph: non-positive weight %d on (%d,%d)", w, u, v)
+	case w >= Inf:
+		return fmt.Errorf("graph: weight %d on (%d,%d) exceeds Inf", w, u, v)
+	}
+	for _, e := range g.out[u] {
+		if e.To == v {
+			return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+		}
+	}
+	g.out[u] = append(g.out[u], Edge{To: v, Weight: w, Port: PortID(len(g.out[u]))})
+	g.in[v] = append(g.in[v], InEdge{From: u, Weight: w})
+	g.m++
+	return nil
+}
+
+// MustAddEdge is AddEdge for construction code where the arguments are
+// known valid; it panics on error.
+func (g *Graph) MustAddEdge(u, v NodeID, w Dist) {
+	if err := g.AddEdge(u, v, w); err != nil {
+		panic(err)
+	}
+}
+
+// HasEdge reports whether the directed edge (u, v) exists.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	for _, e := range g.out[u] {
+		if e.To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Out returns the out-edge slice of u. Callers must not modify it.
+func (g *Graph) Out(u NodeID) []Edge { return g.out[u] }
+
+// In returns the in-edge slice of u. Callers must not modify it.
+func (g *Graph) In(u NodeID) []InEdge { return g.in[u] }
+
+// OutDegree returns the number of out-edges of u.
+func (g *Graph) OutDegree(u NodeID) int { return len(g.out[u]) }
+
+// EdgeByPort returns the out-edge of u labeled with the given port.
+// This is the only lookup a forwarding function may use to move a packet:
+// routing tables store ports, and the simulator resolves them here.
+func (g *Graph) EdgeByPort(u NodeID, port PortID) (Edge, bool) {
+	for _, e := range g.out[u] {
+		if e.Port == port {
+			return e, true
+		}
+	}
+	return Edge{}, false
+}
+
+// PortTo returns the port label of the edge (u, v).
+func (g *Graph) PortTo(u, v NodeID) (PortID, bool) {
+	for _, e := range g.out[u] {
+		if e.To == v {
+			return e.Port, true
+		}
+	}
+	return 0, false
+}
+
+// AssignPorts relabels every node's out-edge ports adversarially: each
+// node's ports become distinct values drawn from [0, 4n), permuted with
+// the supplied source of randomness, mirroring §1.1.3 ("v may have another
+// link called port 200, but this might go to a different vertex").
+// intn must behave like (*math/rand.Rand).Intn.
+func (g *Graph) AssignPorts(intn func(int) int) {
+	space := 4 * g.N()
+	if space < 4 {
+		space = 4
+	}
+	for u := range g.out {
+		used := make(map[PortID]bool, len(g.out[u]))
+		for i := range g.out[u] {
+			for {
+				p := PortID(intn(space))
+				if !used[p] {
+					used[p] = true
+					g.out[u][i].Port = p
+					break
+				}
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.N())
+	c.m = g.m
+	for u := range g.out {
+		c.out[u] = append([]Edge(nil), g.out[u]...)
+		c.in[u] = append([]InEdge(nil), g.in[u]...)
+	}
+	return c
+}
+
+// Reverse returns the graph with every edge direction flipped. Port labels
+// on the reversed edges are assigned sequentially.
+func (g *Graph) Reverse() *Graph {
+	r := New(g.N())
+	for u, edges := range g.out {
+		for _, e := range edges {
+			r.MustAddEdge(e.To, NodeID(u), e.Weight)
+		}
+	}
+	return r
+}
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() Dist {
+	var s Dist
+	for _, edges := range g.out {
+		for _, e := range edges {
+			s += e.Weight
+		}
+	}
+	return s
+}
+
+// MaxWeight returns the largest edge weight (0 for an edgeless graph).
+func (g *Graph) MaxWeight() Dist {
+	var w Dist
+	for _, edges := range g.out {
+		for _, e := range edges {
+			if e.Weight > w {
+				w = e.Weight
+			}
+		}
+	}
+	return w
+}

@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteTo serializes g in the textual exchange format:
+//
+//	rtroute-graph v1
+//	n <nodes>
+//	e <from> <to> <weight> <port>
+//
+// one edge per line, deterministic order (by tail node, then edge slot).
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	count := func(n int, err error) error {
+		total += int64(n)
+		return err
+	}
+	if err := count(fmt.Fprintf(bw, "rtroute-graph v1\nn %d\n", g.N())); err != nil {
+		return total, err
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, e := range g.out[u] {
+			if err := count(fmt.Fprintf(bw, "e %d %d %d %d\n", u, e.To, e.Weight, e.Port)); err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, bw.Flush()
+}
+
+// Read parses the WriteTo format.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	line := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			s := strings.TrimSpace(sc.Text())
+			if s != "" && !strings.HasPrefix(s, "#") {
+				return s, true
+			}
+		}
+		return "", false
+	}
+
+	header, ok := next()
+	if !ok || header != "rtroute-graph v1" {
+		return nil, fmt.Errorf("graph: bad header %q at line %d", header, line)
+	}
+	sizeLine, ok := next()
+	if !ok {
+		return nil, fmt.Errorf("graph: missing node count")
+	}
+	var n int
+	if _, err := fmt.Sscanf(sizeLine, "n %d", &n); err != nil {
+		return nil, fmt.Errorf("graph: bad node count %q at line %d: %w", sizeLine, line, err)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative node count %d", n)
+	}
+	g := New(n)
+	for {
+		edgeLine, ok := next()
+		if !ok {
+			break
+		}
+		var u, v NodeID
+		var w Dist
+		var port PortID
+		if _, err := fmt.Sscanf(edgeLine, "e %d %d %d %d", &u, &v, &w, &port); err != nil {
+			return nil, fmt.Errorf("graph: bad edge %q at line %d: %w", edgeLine, line, err)
+		}
+		if err := g.AddEdge(u, v, w); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", line, err)
+		}
+		// Restore the stored port label (AddEdge assigned a default).
+		edges := g.out[u]
+		edges[len(edges)-1].Port = port
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// Reject duplicate port labels that a hand-edited file might carry.
+	for u := 0; u < n; u++ {
+		seen := make(map[PortID]bool, len(g.out[u]))
+		for _, e := range g.out[u] {
+			if seen[e.Port] {
+				return nil, fmt.Errorf("graph: node %d has duplicate port %d", u, e.Port)
+			}
+			seen[e.Port] = true
+		}
+	}
+	return g, nil
+}
+
+// DOT renders the graph in Graphviz format, weights as labels. Intended
+// for eyeballing small instances.
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n", name)
+	for u := 0; u < g.N(); u++ {
+		for _, e := range g.out[u] {
+			fmt.Fprintf(&b, "  %d -> %d [label=%d];\n", u, e.To, e.Weight)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

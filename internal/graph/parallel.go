@@ -1,0 +1,40 @@
+package graph
+
+import (
+	"runtime"
+	"sync"
+)
+
+// AllPairsParallel computes the same metric as AllPairs using a worker
+// pool — the all-pairs pass dominates preprocessing, and the per-source
+// Dijkstras are embarrassingly parallel. workers <= 0 selects GOMAXPROCS.
+func AllPairsParallel(g *Graph, workers int) *Metric {
+	n := g.N()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return AllPairs(g)
+	}
+	m := &Metric{n: n, d: make([][]Dist, n)}
+	var wg sync.WaitGroup
+	src := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range src {
+				m.d[u] = Dijkstra(g, NodeID(u)).Dist
+			}
+		}()
+	}
+	for u := 0; u < n; u++ {
+		src <- u
+	}
+	close(src)
+	wg.Wait()
+	return m
+}

@@ -1,0 +1,91 @@
+package graph
+
+// StronglyConnected reports whether g is strongly connected, i.e. whether
+// every node can reach every other node. All schemes in this repository
+// require strong connectivity (the roundtrip metric is infinite otherwise).
+func StronglyConnected(g *Graph) bool {
+	n := g.N()
+	if n <= 1 {
+		return true
+	}
+	return len(SCCs(g)) == 1
+}
+
+// SCCs returns the strongly connected components of g using Tarjan's
+// algorithm (iterative, so deep graphs do not overflow the stack).
+// Components are returned in reverse topological order.
+func SCCs(g *Graph) [][]NodeID {
+	n := g.N()
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		comps   [][]NodeID
+		stack   []NodeID
+		counter int32
+	)
+
+	type frame struct {
+		node NodeID
+		edge int32 // next out-edge index to explore
+	}
+	var callStack []frame
+
+	for start := 0; start < n; start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		callStack = append(callStack[:0], frame{node: NodeID(start)})
+		index[start] = counter
+		low[start] = counter
+		counter++
+		stack = append(stack, NodeID(start))
+		onStack[start] = true
+
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			u := f.node
+			if int(f.edge) < len(g.out[u]) {
+				v := g.out[u][f.edge].To
+				f.edge++
+				if index[v] == unvisited {
+					index[v] = counter
+					low[v] = counter
+					counter++
+					stack = append(stack, v)
+					onStack[v] = true
+					callStack = append(callStack, frame{node: v})
+				} else if onStack[v] && index[v] < low[u] {
+					low[u] = index[v]
+				}
+				continue
+			}
+			// All edges of u explored: pop the frame.
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				p := callStack[len(callStack)-1].node
+				if low[u] < low[p] {
+					low[p] = low[u]
+				}
+			}
+			if low[u] == index[u] {
+				var comp []NodeID
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == u {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}

@@ -1,0 +1,121 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSCCsSingleComponent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, gen := range []struct {
+		name string
+		g    *Graph
+	}{
+		{"ring", Ring(10, nil)},
+		{"randomSC", RandomSC(50, 100, 5, rng)},
+		{"grid", Grid(4, 4, nil)},
+		{"scaleFree", ScaleFreeSC(60, 2, 5, rng)},
+		{"layered", LayeredSC(4, 5, 5, rng)},
+		{"gnp", RandomGNP(40, 0.1, 5, rng)},
+		{"complete", Complete(10, 5, rng)},
+	} {
+		t.Run(gen.name, func(t *testing.T) {
+			if !StronglyConnected(gen.g) {
+				t.Fatalf("%s generator produced a graph that is not strongly connected", gen.name)
+			}
+		})
+	}
+}
+
+func TestSCCsMultipleComponents(t *testing.T) {
+	// Two 3-cycles joined by a one-way edge: exactly 2 SCCs.
+	g := New(6)
+	for i := 0; i < 3; i++ {
+		g.MustAddEdge(NodeID(i), NodeID((i+1)%3), 1)
+		g.MustAddEdge(NodeID(3+i), NodeID(3+(i+1)%3), 1)
+	}
+	g.MustAddEdge(0, 3, 1)
+	comps := SCCs(g)
+	if len(comps) != 2 {
+		t.Fatalf("got %d SCCs, want 2", len(comps))
+	}
+	if StronglyConnected(g) {
+		t.Fatal("graph with a one-way bridge reported strongly connected")
+	}
+}
+
+func TestSCCsDAG(t *testing.T) {
+	// A path 0 -> 1 -> 2 -> 3: every node is its own SCC, and the
+	// components come out in reverse topological order.
+	g := New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 3, 1)
+	comps := SCCs(g)
+	if len(comps) != 4 {
+		t.Fatalf("got %d SCCs, want 4", len(comps))
+	}
+	// Reverse topological order: sinks first.
+	order := make(map[NodeID]int)
+	for i, comp := range comps {
+		for _, v := range comp {
+			order[v] = i
+		}
+	}
+	if !(order[3] < order[2] && order[2] < order[1] && order[1] < order[0]) {
+		t.Fatalf("SCCs not in reverse topological order: %v", comps)
+	}
+}
+
+func TestSCCsCoverAllNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := New(100)
+	// Random sparse digraph, possibly disconnected.
+	for i := 0; i < 150; i++ {
+		u, v := NodeID(rng.Intn(100)), NodeID(rng.Intn(100))
+		if u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v, 1)
+		}
+	}
+	comps := SCCs(g)
+	seen := make([]bool, 100)
+	total := 0
+	for _, comp := range comps {
+		for _, v := range comp {
+			if seen[v] {
+				t.Fatalf("node %d in two SCCs", v)
+			}
+			seen[v] = true
+			total++
+		}
+	}
+	if total != 100 {
+		t.Fatalf("SCCs cover %d nodes, want 100", total)
+	}
+}
+
+func TestSCCsDeepPathNoOverflow(t *testing.T) {
+	// A 200k-node directed path would overflow a recursive Tarjan; the
+	// iterative version must handle it.
+	n := 200000
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(NodeID(i), NodeID(i+1), 1)
+	}
+	comps := SCCs(g)
+	if len(comps) != n {
+		t.Fatalf("got %d SCCs, want %d", len(comps), n)
+	}
+}
+
+func TestSingletonAndEmpty(t *testing.T) {
+	if !StronglyConnected(New(0)) {
+		t.Fatal("empty graph should be trivially strongly connected")
+	}
+	if !StronglyConnected(New(1)) {
+		t.Fatal("singleton graph should be strongly connected")
+	}
+	if got := len(SCCs(New(3))); got != 3 {
+		t.Fatalf("edgeless graph: %d SCCs, want 3", got)
+	}
+}

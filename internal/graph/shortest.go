@@ -1,0 +1,179 @@
+package graph
+
+import "container/heap"
+
+// SSSP holds the result of a single-source (or single-sink) shortest path
+// computation.
+type SSSP struct {
+	// Dist[v] is the shortest distance from the source to v (forward run)
+	// or from v to the sink (reverse run). Inf if unreachable.
+	Dist []Dist
+	// Parent[v] is the predecessor of v on a shortest path in the
+	// traversal tree, or -1 for the root / unreachable nodes. For a
+	// forward run Parent[v] is the node before v on a shortest
+	// source->v path; for a reverse run it is the node after v on a
+	// shortest v->sink path (v's next hop toward the sink).
+	Parent []NodeID
+}
+
+type heapItem struct {
+	node NodeID
+	dist Dist
+}
+
+type distHeap struct {
+	items []heapItem
+	pos   []int32 // node -> index in items, -1 if absent
+}
+
+func newDistHeap(n int) *distHeap {
+	h := &distHeap{pos: make([]int32, n)}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+func (h *distHeap) Len() int { return len(h.items) }
+func (h *distHeap) Less(i, j int) bool {
+	return h.items[i].dist < h.items[j].dist ||
+		(h.items[i].dist == h.items[j].dist && h.items[i].node < h.items[j].node)
+}
+func (h *distHeap) Swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.pos[h.items[i].node] = int32(i)
+	h.pos[h.items[j].node] = int32(j)
+}
+func (h *distHeap) Push(x any) {
+	it := x.(heapItem)
+	h.pos[it.node] = int32(len(h.items))
+	h.items = append(h.items, it)
+}
+func (h *distHeap) Pop() any {
+	it := h.items[len(h.items)-1]
+	h.items = h.items[:len(h.items)-1]
+	h.pos[it.node] = -1
+	return it
+}
+
+// decreaseOrPush lowers node's key to d, inserting it if absent.
+func (h *distHeap) decreaseOrPush(node NodeID, d Dist) {
+	if i := h.pos[node]; i >= 0 {
+		h.items[i].dist = d
+		heap.Fix(h, int(i))
+		return
+	}
+	heap.Push(h, heapItem{node: node, dist: d})
+}
+
+// Dijkstra computes shortest distances from src over out-edges.
+func Dijkstra(g *Graph, src NodeID) SSSP {
+	return dijkstra(g, src, false)
+}
+
+// DijkstraRev computes, for every node v, the shortest distance from v TO
+// sink, by running Dijkstra over in-edges. Parent[v] is v's successor on a
+// shortest v->sink path, i.e. the next hop toward the sink.
+func DijkstraRev(g *Graph, sink NodeID) SSSP {
+	return dijkstra(g, sink, true)
+}
+
+func dijkstra(g *Graph, root NodeID, reverse bool) SSSP {
+	n := g.N()
+	res := SSSP{
+		Dist:   make([]Dist, n),
+		Parent: make([]NodeID, n),
+	}
+	for i := range res.Dist {
+		res.Dist[i] = Inf
+		res.Parent[i] = -1
+	}
+	res.Dist[root] = 0
+	h := newDistHeap(n)
+	heap.Push(h, heapItem{node: root, dist: 0})
+	for h.Len() > 0 {
+		it := heap.Pop(h).(heapItem)
+		u := it.node
+		if it.dist > res.Dist[u] {
+			continue
+		}
+		if reverse {
+			for _, e := range g.in[u] {
+				if nd := it.dist + e.Weight; nd < res.Dist[e.From] {
+					res.Dist[e.From] = nd
+					res.Parent[e.From] = u
+					h.decreaseOrPush(e.From, nd)
+				}
+			}
+		} else {
+			for _, e := range g.out[u] {
+				if nd := it.dist + e.Weight; nd < res.Dist[e.To] {
+					res.Dist[e.To] = nd
+					res.Parent[e.To] = u
+					h.decreaseOrPush(e.To, nd)
+				}
+			}
+		}
+	}
+	return res
+}
+
+// Metric is the all-pairs distance matrix of a graph together with the
+// derived roundtrip metric r(u,v) = d(u,v) + d(v,u) (§1.1 of the paper).
+type Metric struct {
+	n int
+	d [][]Dist
+}
+
+// AllPairs runs n forward Dijkstras and returns the distance matrix.
+func AllPairs(g *Graph) *Metric {
+	n := g.N()
+	m := &Metric{n: n, d: make([][]Dist, n)}
+	for u := 0; u < n; u++ {
+		m.d[u] = Dijkstra(g, NodeID(u)).Dist
+	}
+	return m
+}
+
+// N returns the number of nodes the metric was computed over.
+func (m *Metric) N() int { return m.n }
+
+// D returns the one-way shortest distance d(u,v).
+func (m *Metric) D(u, v NodeID) Dist { return m.d[u][v] }
+
+// R returns the roundtrip distance r(u,v) = d(u,v) + d(v,u). R is a
+// genuine metric on strongly connected digraphs: symmetric, zero iff
+// u == v, and satisfying the triangle inequality.
+func (m *Metric) R(u, v NodeID) Dist {
+	duv, dvu := m.d[u][v], m.d[v][u]
+	if duv >= Inf || dvu >= Inf {
+		return Inf
+	}
+	return duv + dvu
+}
+
+// RTDiam returns the roundtrip diameter max_{u,v} r(u,v).
+func (m *Metric) RTDiam() Dist {
+	var diam Dist
+	for u := 0; u < m.n; u++ {
+		for v := u + 1; v < m.n; v++ {
+			if r := m.R(NodeID(u), NodeID(v)); r > diam {
+				diam = r
+			}
+		}
+	}
+	return diam
+}
+
+// Diam returns the one-way diameter max_{u,v} d(u,v).
+func (m *Metric) Diam() Dist {
+	var diam Dist
+	for u := range m.d {
+		for _, d := range m.d[u] {
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}

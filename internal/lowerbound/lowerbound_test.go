@@ -1,0 +1,96 @@
+package lowerbound
+
+import (
+	"math/rand"
+	"testing"
+
+	"rtroute/internal/core"
+	"rtroute/internal/graph"
+	"rtroute/internal/names"
+)
+
+// TestTheorem15Reduction is experiment E8: run a real TINN roundtrip
+// scheme (StretchSix) on bidirected graphs and verify the reduction's
+// arithmetic plus the induced one-way stretch relation
+// oneWay <= roundtrip * 2 - 1 implied by p(v,u) >= d(v,u).
+func TestTheorem15Reduction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := graph.RandomSC(24, 72, 4, rng)
+	g := graph.Bidirect(base)
+	g.AssignPorts(rng.Intn)
+	m := graph.AllPairs(g)
+	perm := names.Random(g.N(), rng)
+	s, err := core.NewStretchSix(g, m, perm, rng, core.Stretch6Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := Analyze(g, m, s, func(v graph.NodeID) int32 { return perm.Name(int32(v)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != g.N()*(g.N()-1) {
+		t.Fatalf("got %d reports, want %d", len(reports), g.N()*(g.N()-1))
+	}
+	sum := Summarize(reports)
+	if sum.MaxRoundtripStretch > 6 {
+		t.Fatalf("roundtrip stretch %f exceeds the scheme's bound", sum.MaxRoundtripStretch)
+	}
+	// The relation the proof pivots on: one-way stretch s1 and roundtrip
+	// stretch s2 satisfy s1 <= 2*s2 - 1 because the return leg is at
+	// least d.
+	for _, r := range reports {
+		if r.OneWayStretch() > 2*r.RoundtripStretch()-1+1e-9 {
+			t.Fatalf("relation s1 <= 2 s2 - 1 violated at (%d,%d): %f vs %f",
+				r.U, r.V, r.OneWayStretch(), r.RoundtripStretch())
+		}
+	}
+}
+
+func TestAnalyzeRejectsDirectedGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.RandomSC(10, 30, 3, rng) // not bidirected
+	m := graph.AllPairs(g)
+	perm := names.Identity(g.N())
+	s, err := core.NewStretchSix(g, m, perm, rng, core.Stretch6Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(g, m, s, func(v graph.NodeID) int32 { return perm.Name(int32(v)) }); err == nil {
+		t.Fatal("directed graph accepted by bidirected-only reduction")
+	}
+}
+
+func TestSummaryCounts(t *testing.T) {
+	reports := []PairReport{
+		{D: 10, Forward: 10, Back: 10, RoundtripWeight: 20}, // stretch 1
+		{D: 10, Forward: 30, Back: 30, RoundtripWeight: 60}, // stretch 3
+	}
+	s := Summarize(reports)
+	if s.Pairs != 2 || s.PairsBelow2 != 1 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	if s.MaxRoundtripStretch != 3 || s.MaxOneWayStretch != 3 {
+		t.Fatalf("summary maxima wrong: %+v", s)
+	}
+}
+
+func TestBidirectedGridReduction(t *testing.T) {
+	// The classic lower-bound substrate is highly symmetric; verify the
+	// machinery on a grid too.
+	rng := rand.New(rand.NewSource(3))
+	g := graph.Grid(4, 4, rng)
+	m := graph.AllPairs(g)
+	perm := names.Reversed(g.N())
+	s, err := core.NewStretchSix(g, m, perm, rng, core.Stretch6Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := Analyze(g, m, s, func(v graph.NodeID) int32 { return perm.Name(int32(v)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(reports)
+	if sum.MaxRoundtripStretch > 6 {
+		t.Fatalf("grid roundtrip stretch %f exceeds 6", sum.MaxRoundtripStretch)
+	}
+}

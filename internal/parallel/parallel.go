@@ -1,0 +1,57 @@
+// Package parallel provides the small worker-pool helper the scheme
+// builders use to parallelize their per-node preprocessing loops (each
+// node's table depends only on read-only shared state).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach invokes fn(i) for i in [0, n) across a pool of workers.
+// workers <= 0 selects GOMAXPROCS. fn calls for distinct i may run
+// concurrently; callers must ensure per-i writes are disjoint. The first
+// error is returned after all workers drain.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	src := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range src {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		src <- i
+	}
+	close(src)
+	wg.Wait()
+	return firstErr
+}

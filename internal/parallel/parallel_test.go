@@ -1,0 +1,63 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachVisitsAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		var visited [100]int32
+		err := ForEach(100, workers, func(i int) error {
+			atomic.AddInt32(&visited[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range visited {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	err := ForEach(50, 4, func(i int) error {
+		if i == 17 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	called := false
+	if err := ForEach(0, 4, func(i int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestForEachSequentialFallbackStopsEarly(t *testing.T) {
+	boom := errors.New("stop")
+	count := 0
+	err := ForEach(100, 1, func(i int) error {
+		count++
+		if i == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || count != 6 {
+		t.Fatalf("sequential mode: err=%v count=%d", err, count)
+	}
+}

@@ -1,0 +1,189 @@
+// Package rtmetric implements the roundtrip-metric machinery of §1.1 and
+// §2 of the paper: the total orders Init_v induced by the roundtrip
+// distance r(u,v) = d(u,v) + d(v,u), the neighborhood balls N_i(v) (the
+// first n^(i/k) nodes of Init_v), and the radius balls Nhat_m(v) used by
+// the sparse-cover construction of §4.
+package rtmetric
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"rtroute/internal/graph"
+)
+
+// Space bundles a graph, its all-pairs metric, and (lazily computed)
+// Init_v total orders. The tie-breaking IDs default to the topological
+// node indices; in TINN deployments callers may supply the node-name
+// permutation instead (the paper's IDu, §2).
+type Space struct {
+	G   *graph.Graph
+	M   *graph.Metric
+	ids []int32
+
+	initOrders [][]graph.NodeID // lazily filled per source node
+	ranks      [][]int32        // ranks[v][u] = position of u in Init_v
+}
+
+// New creates a Space over g with its all-pairs metric m. If ids is nil
+// the topological indices are used for tie-breaking.
+func New(g *graph.Graph, m *graph.Metric, ids []int32) *Space {
+	if m.N() != g.N() {
+		panic(fmt.Sprintf("rtmetric: metric over %d nodes, graph has %d", m.N(), g.N()))
+	}
+	if ids != nil && len(ids) != g.N() {
+		panic(fmt.Sprintf("rtmetric: %d ids for %d nodes", len(ids), g.N()))
+	}
+	if ids == nil {
+		ids = make([]int32, g.N())
+		for i := range ids {
+			ids[i] = int32(i)
+		}
+	}
+	return &Space{
+		G:          g,
+		M:          m,
+		ids:        ids,
+		initOrders: make([][]graph.NodeID, g.N()),
+		ranks:      make([][]int32, g.N()),
+	}
+}
+
+// Less reports whether a ≺_v b in the total order of §2: first by
+// roundtrip distance r(v,·), then by distance d(·,v) toward v, then by ID.
+func (s *Space) Less(v, a, b graph.NodeID) bool {
+	ra, rb := s.M.R(v, a), s.M.R(v, b)
+	if ra != rb {
+		return ra < rb
+	}
+	da, db := s.M.D(a, v), s.M.D(b, v)
+	if da != db {
+		return da < db
+	}
+	return s.ids[a] < s.ids[b]
+}
+
+// Init returns the total order Init_v = v ≺_v u1 ≺_v u2 ≺_v ... over all
+// n nodes. The returned slice is cached and must not be modified.
+func (s *Space) Init(v graph.NodeID) []graph.NodeID {
+	if ord := s.initOrders[v]; ord != nil {
+		return ord
+	}
+	n := s.G.N()
+	ord := make([]graph.NodeID, n)
+	for i := range ord {
+		ord[i] = graph.NodeID(i)
+	}
+	sort.Slice(ord, func(i, j int) bool { return s.Less(v, ord[i], ord[j]) })
+	s.initOrders[v] = ord
+
+	rank := make([]int32, n)
+	for i, u := range ord {
+		rank[u] = int32(i)
+	}
+	s.ranks[v] = rank
+	return ord
+}
+
+// Rank returns the position of u in Init_v (0 for u == v).
+func (s *Space) Rank(v, u graph.NodeID) int {
+	s.Init(v)
+	return int(s.ranks[v][u])
+}
+
+// Neighborhood returns the first size nodes of Init_v (v itself included,
+// as in the paper where Init_v begins with v). size is clamped to [1, n].
+func (s *Space) Neighborhood(v graph.NodeID, size int) []graph.NodeID {
+	n := s.G.N()
+	if size < 1 {
+		size = 1
+	}
+	if size > n {
+		size = n
+	}
+	return s.Init(v)[:size]
+}
+
+// Contains reports whether u is among the first size nodes of Init_v,
+// without materializing the slice.
+func (s *Space) Contains(v graph.NodeID, size int, u graph.NodeID) bool {
+	return s.Rank(v, u) < size
+}
+
+// Ball returns Nhat_m(v) = {w : r(v,w) <= m}, the radius ball of §4.
+func (s *Space) Ball(v graph.NodeID, m graph.Dist) []graph.NodeID {
+	var ball []graph.NodeID
+	for u := 0; u < s.G.N(); u++ {
+		if s.M.R(v, graph.NodeID(u)) <= m {
+			ball = append(ball, graph.NodeID(u))
+		}
+	}
+	return ball
+}
+
+// Precompute fills the Init_v cache for every node using a worker pool.
+// The lazy cache is not safe for concurrent fills, so parallel scheme
+// builders call Precompute once and then read the orders freely.
+// workers <= 0 selects GOMAXPROCS.
+func (s *Space) Precompute(workers int) {
+	n := s.G.N()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	src := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for v := range src {
+				ord := make([]graph.NodeID, n)
+				for i := range ord {
+					ord[i] = graph.NodeID(i)
+				}
+				sort.Slice(ord, func(i, j int) bool { return s.Less(graph.NodeID(v), ord[i], ord[j]) })
+				rank := make([]int32, n)
+				for i, u := range ord {
+					rank[u] = int32(i)
+				}
+				// Each worker writes only its own v's slots: disjoint.
+				s.initOrders[v] = ord
+				s.ranks[v] = rank
+			}
+		}()
+	}
+	for v := 0; v < n; v++ {
+		src <- v
+	}
+	close(src)
+	wg.Wait()
+}
+
+// NeighborhoodSizes returns the sizes |N_i(v)| = ceil(n^(i/k)) for
+// i = 0..k, clamped to n. The paper assumes n is a perfect k-th power;
+// ceiling sizes preserve every containment the proofs use
+// (N_0 ⊆ N_1 ⊆ ... ⊆ N_k = V) for arbitrary n.
+func NeighborhoodSizes(n, k int) []int {
+	if k < 1 {
+		panic(fmt.Sprintf("rtmetric: k must be >= 1, got %d", k))
+	}
+	sizes := make([]int, k+1)
+	for i := 0; i <= k; i++ {
+		s := int(math.Ceil(math.Pow(float64(n), float64(i)/float64(k))))
+		if s < 1 {
+			s = 1
+		}
+		if s > n {
+			s = n
+		}
+		sizes[i] = s
+	}
+	sizes[k] = n
+	return sizes
+}

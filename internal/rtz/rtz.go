@@ -1,0 +1,316 @@
+// Package rtz implements the name-dependent (topology-dependent) roundtrip
+// routing substrates the paper imports from Roditty, Thorup and Zwick
+// ("Roundtrip spanners and roundtrip routing in directed graphs", SODA'02):
+//
+//   - Scheme: the O~(sqrt n)-space stretch-3 roundtrip scheme of Lemma 2,
+//     with topology-dependent addresses R3(v) and the one-way guarantee
+//     p(u,v) <= r(u,v) + d(u,v) used throughout §2's analysis.
+//
+//   - HopScheme: the double-tree-cover scheme behind Lemma 5, exposing the
+//     R2(u,v) "handshake" labels and Hop(u,v) routes the §3 scheme stores
+//     in its distributed dictionary. Built on the paper's own Theorem 13
+//     covers (per §4.4 this improves RTZ's roundtrip stretch to 4k-2+eps).
+//
+// Construction of Scheme, following Thorup–Zwick style sampling adapted to
+// the roundtrip metric:
+//
+//   - Sample a center set A (about sqrt(n ln n) nodes). For each center w,
+//     build a full double-tree: every node stores its next-hop port toward
+//     w (in-tree) and O(1) tree-routing state for w's out-tree.
+//   - a(v) = the center nearest to v in roundtrip distance; the address
+//     R3(v) = (v, a(v), v's label in a(v)'s out-tree).
+//   - Every node x with r(x,y) < r(y,A) stores a direct entry for y: the
+//     first-hop port of a shortest x->y path. Crucially this cluster
+//     C(y) = {x : r(x,y) < r(y,A)} is defined by the DESTINATION's
+//     center-radius, which makes it closed under shortest-path subpaths
+//     (if x' is on a shortest x->y path then r(x',y) <= r(x,y) < r(y,A)),
+//     so a direct route never strands a packet at a node without an entry.
+//
+// Routing x->y with R3(y): deliver if x = y; follow the direct entry if
+// present; otherwise climb the in-tree of a(y) and descend a(y)'s
+// out-tree using y's tree label. One-way cost: d(x,y) when direct, else
+// d(x,a(y)) + d(a(y),y) <= d(x,y) + r(y,A) <= d(x,y) + r(x,y) since
+// x outside C(y) means r(y,A) <= r(x,y). A roundtrip that carries R3(s)
+// back therefore costs at most r(s,t) + 2*r(s,t) = 3*r(s,t): stretch 3.
+package rtz
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rtroute/internal/graph"
+	"rtroute/internal/tree"
+)
+
+// Label is the topology-dependent address R3(v): o(log^2 n) bits.
+type Label struct {
+	Node      graph.NodeID // v itself (topological index)
+	CenterIdx int32        // index of a(v) in the scheme's center list
+	Center    graph.NodeID // a(v)
+	TreeLabel tree.Label   // v's address in a(v)'s out-tree
+}
+
+// Words returns the label size in machine words for header accounting.
+func (l Label) Words() int { return 3 + l.TreeLabel.Words() }
+
+// Phase tracks the progress of a one-way route in the packet header.
+type Phase int8
+
+const (
+	// PhaseSeek means the packet is climbing toward the destination's
+	// center (or following direct entries when it meets them).
+	PhaseSeek Phase = iota
+	// PhaseDescend means the packet is inside the center's out-tree.
+	PhaseDescend
+	// PhaseDirect means the packet is on a stored shortest path to the
+	// destination; it never leaves this phase.
+	PhaseDirect
+)
+
+// Header is the mutable routing state carried by a one-way packet.
+type Header struct {
+	Dest  graph.NodeID
+	Label Label
+	Phase Phase
+}
+
+// Words returns the header size in machine words.
+func (h Header) Words() int { return 2 + h.Label.Words() }
+
+// Table is the node-local storage of the stretch-3 scheme. All slices are
+// indexed by center index.
+type Table struct {
+	Self       graph.NodeID
+	InPorts    []graph.PortID // next-hop port toward each center
+	TreeStates []tree.State   // O(1) routing state in each center's out-tree
+	// Direct maps destination -> first-hop port of a shortest path, for
+	// every destination whose cluster contains this node.
+	Direct map[graph.NodeID]graph.PortID
+}
+
+// Words returns the table size in machine words (the O~(sqrt n) of §2.1).
+func (t *Table) Words() int {
+	return 1 + len(t.InPorts) + 5*len(t.TreeStates) + 2*len(t.Direct)
+}
+
+// Config tunes scheme construction.
+type Config struct {
+	// CenterCount overrides the default ceil(sqrt(n*ln n)) sample size.
+	CenterCount int
+}
+
+// Scheme is the built stretch-3 name-dependent roundtrip routing scheme.
+type Scheme struct {
+	Centers []graph.NodeID
+	Tables  []*Table
+	Labels  []Label
+
+	g *graph.Graph
+}
+
+// New builds the scheme over g with metric m.
+func New(g *graph.Graph, m *graph.Metric, rng *rand.Rand, cfg Config) (*Scheme, error) {
+	n := g.N()
+	if n < 2 {
+		return nil, fmt.Errorf("rtz: need at least 2 nodes, got %d", n)
+	}
+	count := cfg.CenterCount
+	if count <= 0 {
+		count = int(math.Ceil(math.Sqrt(float64(n) * math.Max(1, math.Log(float64(n))))))
+	}
+	if count > n {
+		count = n
+	}
+
+	perm := rng.Perm(n)
+	centers := make([]graph.NodeID, count)
+	for i := 0; i < count; i++ {
+		centers[i] = graph.NodeID(perm[i])
+	}
+
+	s := &Scheme{Centers: centers, g: g, Tables: make([]*Table, n), Labels: make([]Label, n)}
+	for v := 0; v < n; v++ {
+		s.Tables[v] = &Table{
+			Self:       graph.NodeID(v),
+			InPorts:    make([]graph.PortID, count),
+			TreeStates: make([]tree.State, count),
+			Direct:     make(map[graph.NodeID]graph.PortID),
+		}
+	}
+
+	// Full double-tree per center.
+	trees := make([]*tree.Tree, count)
+	for ci, w := range centers {
+		t, err := tree.BuildDouble(g, w, nil)
+		if err != nil {
+			return nil, fmt.Errorf("rtz: center %d: %w", w, err)
+		}
+		trees[ci] = t
+		for v := 0; v < n; v++ {
+			st, _ := t.State(graph.NodeID(v))
+			s.Tables[v].TreeStates[ci] = st
+			if graph.NodeID(v) != w {
+				p, ok := t.InPort(graph.NodeID(v))
+				if !ok {
+					return nil, fmt.Errorf("rtz: node %d missing in-port toward center %d", v, w)
+				}
+				s.Tables[v].InPorts[ci] = p
+			}
+		}
+	}
+
+	// Nearest centers and labels.
+	centerRadius := make([]graph.Dist, n) // r(v, A)
+	for v := 0; v < n; v++ {
+		best, bestIdx := graph.Inf, -1
+		for ci, w := range centers {
+			if r := m.R(graph.NodeID(v), w); r < best || (r == best && bestIdx >= 0 && w < centers[bestIdx]) {
+				best, bestIdx = r, ci
+			}
+		}
+		centerRadius[v] = best
+		lbl, _ := trees[bestIdx].LabelOf(graph.NodeID(v))
+		s.Labels[v] = Label{
+			Node:      graph.NodeID(v),
+			CenterIdx: int32(bestIdx),
+			Center:    centers[bestIdx],
+			TreeLabel: lbl,
+		}
+	}
+
+	// Cluster (direct) entries: for each destination y, every x with
+	// r(x,y) < r(y,A) stores the first hop of a shortest x->y path.
+	// Next hops come from one reverse Dijkstra per destination with a
+	// nonempty cluster.
+	for y := 0; y < n; y++ {
+		radius := centerRadius[y]
+		var members []graph.NodeID
+		for x := 0; x < n; x++ {
+			if x != y && m.R(graph.NodeID(x), graph.NodeID(y)) < radius {
+				members = append(members, graph.NodeID(x))
+			}
+		}
+		if len(members) == 0 {
+			continue
+		}
+		rev := graph.DijkstraRev(g, graph.NodeID(y))
+		for _, x := range members {
+			next := rev.Parent[x]
+			port, ok := g.PortTo(x, next)
+			if !ok {
+				return nil, fmt.Errorf("rtz: missing edge (%d,%d) for direct entry", x, next)
+			}
+			s.Tables[x].Direct[graph.NodeID(y)] = port
+		}
+	}
+	return s, nil
+}
+
+// LabelOf returns R3(v).
+func (s *Scheme) LabelOf(v graph.NodeID) Label { return s.Labels[v] }
+
+// Forward is the local forwarding function: given only the node's table
+// and the packet header it returns the outgoing port (mutating the
+// header's phase), or delivered = true. It never consults global state.
+func Forward(tab *Table, h *Header) (port graph.PortID, delivered bool, err error) {
+	if tab.Self == h.Dest {
+		return 0, true, nil
+	}
+	// A direct entry is always safe and optimal from here on: the cluster
+	// is closed under shortest-path subpaths.
+	if h.Phase == PhaseDirect {
+		p, ok := tab.Direct[h.Dest]
+		if !ok {
+			return 0, false, fmt.Errorf("rtz: direct-phase packet for %d at %d with no entry (cluster closure violated)", h.Dest, tab.Self)
+		}
+		return p, false, nil
+	}
+	if p, ok := tab.Direct[h.Dest]; ok {
+		h.Phase = PhaseDirect
+		return p, false, nil
+	}
+	if h.Phase == PhaseSeek {
+		if tab.Self == h.Label.Center {
+			h.Phase = PhaseDescend
+		} else {
+			return tab.InPorts[h.Label.CenterIdx], false, nil
+		}
+	}
+	// Descend the center's out-tree toward the destination.
+	st := tab.TreeStates[h.Label.CenterIdx]
+	p, done, err := tree.NextPort(st, h.Label.TreeLabel)
+	if err != nil {
+		return 0, false, fmt.Errorf("rtz: descent at %d toward %d: %w", tab.Self, h.Dest, err)
+	}
+	if done {
+		// The tree label addresses this node, so it must be the
+		// destination — guarded above, defensive here.
+		return 0, true, nil
+	}
+	return p, false, nil
+}
+
+// Route simulates the one-way route from src to the node addressed by
+// lbl, returning the path weight and hop count. It drives Forward with
+// node-local tables only; the graph is used solely to resolve ports, as
+// the network fabric would.
+func (s *Scheme) Route(src graph.NodeID, lbl Label) (graph.Dist, int, error) {
+	h := &Header{Dest: lbl.Node, Label: lbl, Phase: PhaseSeek}
+	cur := src
+	var weight graph.Dist
+	hops := 0
+	maxHops := 4 * s.g.N()
+	for {
+		port, delivered, err := Forward(s.Tables[cur], h)
+		if err != nil {
+			return 0, 0, err
+		}
+		if delivered {
+			return weight, hops, nil
+		}
+		e, ok := s.g.EdgeByPort(cur, port)
+		if !ok {
+			return 0, 0, fmt.Errorf("rtz: node %d has no port %d", cur, port)
+		}
+		weight += e.Weight
+		cur = e.To
+		if hops++; hops > maxHops {
+			return 0, 0, fmt.Errorf("rtz: route %d->%d exceeded %d hops", src, lbl.Node, maxHops)
+		}
+	}
+}
+
+// Roundtrip simulates src -> dst -> src, carrying R3(src) on the forward
+// leg as the paper's return-trip headers do. Returns total weight.
+func (s *Scheme) Roundtrip(src, dst graph.NodeID) (graph.Dist, error) {
+	out, _, err := s.Route(src, s.Labels[dst])
+	if err != nil {
+		return 0, err
+	}
+	back, _, err := s.Route(dst, s.Labels[src])
+	if err != nil {
+		return 0, err
+	}
+	return out + back, nil
+}
+
+// MaxTableWords returns the largest node table in words.
+func (s *Scheme) MaxTableWords() int {
+	m := 0
+	for _, t := range s.Tables {
+		if w := t.Words(); w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// AvgTableWords returns the mean node table size in words.
+func (s *Scheme) AvgTableWords() float64 {
+	total := 0
+	for _, t := range s.Tables {
+		total += t.Words()
+	}
+	return float64(total) / float64(len(s.Tables))
+}

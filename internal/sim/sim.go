@@ -1,0 +1,99 @@
+// Package sim is the packet-level simulation fabric: it delivers packets
+// by repeatedly invoking a scheme's local forwarding function and
+// resolving the returned port over the graph — exactly the network's role
+// in §1.1.1. The engine enforces the model's disciplines: forwarding sees
+// only (node, header), port resolution is the fabric's job, hop budgets
+// catch routing loops, and header growth is recorded so tests can assert
+// the O(log^2 n)-bit bound.
+package sim
+
+import (
+	"fmt"
+
+	"rtroute/internal/graph"
+)
+
+// Header is the mutable packet header a scheme reads and rewrites at each
+// node (TINN schemes require writable headers, §1.1.4).
+type Header interface {
+	// Words reports the current header size in machine words.
+	Words() int
+}
+
+// Forwarder is a routing scheme's local forwarding function
+// F(table(x), header(P)) of §1.1.1. Implementations must only consult
+// the local table of the given node plus the header.
+type Forwarder interface {
+	Forward(at graph.NodeID, h Header) (port graph.PortID, delivered bool, err error)
+}
+
+// Trace records one packet's journey.
+type Trace struct {
+	Path           []graph.NodeID
+	Weight         graph.Dist
+	Hops           int
+	MaxHeaderWords int
+}
+
+// Run injects a packet with header h at src and forwards it until the
+// scheme reports delivery, the hop budget is exhausted, or forwarding
+// fails. maxHops <= 0 selects the default budget of 4n hops.
+func Run(g *graph.Graph, f Forwarder, src graph.NodeID, h Header, maxHops int) (*Trace, error) {
+	if maxHops <= 0 {
+		maxHops = 4 * g.N()
+	}
+	tr := &Trace{Path: []graph.NodeID{src}, MaxHeaderWords: h.Words()}
+	cur := src
+	for {
+		port, delivered, err := f.Forward(cur, h)
+		if w := h.Words(); w > tr.MaxHeaderWords {
+			tr.MaxHeaderWords = w
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sim: forwarding at node %d (hop %d): %w", cur, tr.Hops, err)
+		}
+		if delivered {
+			if cur != src || tr.Hops > 0 {
+				// Mark the final node once; Path already ends at cur.
+			}
+			return tr, nil
+		}
+		e, ok := g.EdgeByPort(cur, port)
+		if !ok {
+			return nil, fmt.Errorf("sim: node %d has no out-port %d", cur, port)
+		}
+		tr.Weight += e.Weight
+		cur = e.To
+		tr.Path = append(tr.Path, cur)
+		if tr.Hops++; tr.Hops > maxHops {
+			return nil, fmt.Errorf("sim: hop budget %d exhausted (likely routing loop); path tail %v",
+				maxHops, tail(tr.Path, 8))
+		}
+	}
+}
+
+func tail(p []graph.NodeID, k int) []graph.NodeID {
+	if len(p) <= k {
+		return p
+	}
+	return p[len(p)-k:]
+}
+
+// RoundtripTrace aggregates the outbound and return legs of a roundtrip.
+type RoundtripTrace struct {
+	Out, Back *Trace
+}
+
+// Weight returns the total roundtrip weight.
+func (rt *RoundtripTrace) Weight() graph.Dist { return rt.Out.Weight + rt.Back.Weight }
+
+// Hops returns the total roundtrip hop count.
+func (rt *RoundtripTrace) Hops() int { return rt.Out.Hops + rt.Back.Hops }
+
+// MaxHeaderWords returns the peak header size over both legs.
+func (rt *RoundtripTrace) MaxHeaderWords() int {
+	if rt.Out.MaxHeaderWords > rt.Back.MaxHeaderWords {
+		return rt.Out.MaxHeaderWords
+	}
+	return rt.Back.MaxHeaderWords
+}

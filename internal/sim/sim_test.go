@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"rtroute/internal/graph"
+)
+
+// hopHeader is a toy header: route along a fixed port script.
+type hopHeader struct {
+	ports []graph.PortID
+	pos   int
+}
+
+func (h *hopHeader) Words() int { return 1 + len(h.ports) - h.pos }
+
+// scriptForwarder forwards along the header's port script and delivers
+// when the script is exhausted.
+type scriptForwarder struct{}
+
+func (scriptForwarder) Forward(at graph.NodeID, hdr Header) (graph.PortID, bool, error) {
+	h := hdr.(*hopHeader)
+	if h.pos >= len(h.ports) {
+		return 0, true, nil
+	}
+	p := h.ports[h.pos]
+	h.pos++
+	return p, false, nil
+}
+
+func ringWithPorts(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	return graph.Ring(n, nil) // sequential ports: each node's port 0 goes forward
+}
+
+func TestRunDelivers(t *testing.T) {
+	g := ringWithPorts(t, 5)
+	h := &hopHeader{ports: []graph.PortID{0, 0, 0}}
+	tr, err := Run(g, scriptForwarder{}, 1, h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Hops != 3 || tr.Weight != 3 {
+		t.Fatalf("trace hops=%d weight=%d, want 3,3", tr.Hops, tr.Weight)
+	}
+	wantPath := []graph.NodeID{1, 2, 3, 4}
+	if len(tr.Path) != len(wantPath) {
+		t.Fatalf("path %v, want %v", tr.Path, wantPath)
+	}
+	for i := range wantPath {
+		if tr.Path[i] != wantPath[i] {
+			t.Fatalf("path %v, want %v", tr.Path, wantPath)
+		}
+	}
+}
+
+func TestRunRecordsMaxHeaderWords(t *testing.T) {
+	g := ringWithPorts(t, 4)
+	h := &hopHeader{ports: []graph.PortID{0, 0}}
+	tr, err := Run(g, scriptForwarder{}, 0, h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial header is largest: 1 + 2 words.
+	if tr.MaxHeaderWords != 3 {
+		t.Fatalf("MaxHeaderWords = %d, want 3", tr.MaxHeaderWords)
+	}
+}
+
+type loopForwarder struct{}
+
+func (loopForwarder) Forward(at graph.NodeID, hdr Header) (graph.PortID, bool, error) {
+	return 0, false, nil // forever forward: a routing loop
+}
+
+func TestRunHopBudget(t *testing.T) {
+	g := ringWithPorts(t, 3)
+	_, err := Run(g, loopForwarder{}, 0, &hopHeader{}, 10)
+	if err == nil {
+		t.Fatal("routing loop not detected")
+	}
+}
+
+type badPortForwarder struct{}
+
+func (badPortForwarder) Forward(at graph.NodeID, hdr Header) (graph.PortID, bool, error) {
+	return 999, false, nil
+}
+
+func TestRunRejectsUnknownPort(t *testing.T) {
+	g := ringWithPorts(t, 3)
+	if _, err := Run(g, badPortForwarder{}, 0, &hopHeader{}, 0); err == nil {
+		t.Fatal("unknown port accepted")
+	}
+}
+
+type errForwarder struct{}
+
+var errBoom = errors.New("boom")
+
+func (errForwarder) Forward(at graph.NodeID, hdr Header) (graph.PortID, bool, error) {
+	return 0, false, errBoom
+}
+
+func TestRunPropagatesForwardError(t *testing.T) {
+	g := ringWithPorts(t, 3)
+	_, err := Run(g, errForwarder{}, 0, &hopHeader{}, 0)
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+func TestRoundtripTraceAggregation(t *testing.T) {
+	rt := &RoundtripTrace{
+		Out:  &Trace{Weight: 7, Hops: 3, MaxHeaderWords: 5},
+		Back: &Trace{Weight: 9, Hops: 4, MaxHeaderWords: 8},
+	}
+	if rt.Weight() != 16 || rt.Hops() != 7 || rt.MaxHeaderWords() != 8 {
+		t.Fatalf("aggregation wrong: %d %d %d", rt.Weight(), rt.Hops(), rt.MaxHeaderWords())
+	}
+}

@@ -1,0 +1,149 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rtroute/internal/graph"
+)
+
+// Property-based tests on the tree-routing substrate: over random graph
+// seeds and roots, routing from the root must follow the exact
+// shortest-path distance, labels must respect the heavy-path bound, and
+// in-tree + out-tree distances must compose into RTHeight.
+
+func TestQuickOutTreeOptimality(t *testing.T) {
+	err := quick.Check(func(seedRaw uint16, rootRaw, dstRaw uint8) bool {
+		seed := int64(seedRaw)
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + int(seedRaw)%30
+		g := graph.RandomSC(n, 3*n, 7, rng)
+		root := graph.NodeID(int(rootRaw) % n)
+		dst := graph.NodeID(int(dstRaw) % n)
+		tr, err := BuildDouble(g, root, nil)
+		if err != nil {
+			return false
+		}
+		sp := graph.Dijkstra(g, root)
+		lbl, ok := tr.LabelOf(dst)
+		if !ok {
+			return false
+		}
+		cur := root
+		var weight graph.Dist
+		for hops := 0; ; hops++ {
+			if hops > n {
+				return false
+			}
+			st, ok := tr.State(cur)
+			if !ok {
+				return false
+			}
+			port, delivered, err := NextPort(st, lbl)
+			if err != nil {
+				return false
+			}
+			if delivered {
+				return cur == dst && weight == sp.Dist[dst]
+			}
+			e, ok := g.EdgeByPort(cur, port)
+			if !ok {
+				return false
+			}
+			weight += e.Weight
+			cur = e.To
+		}
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRTHeightComposition(t *testing.T) {
+	err := quick.Check(func(seedRaw uint16, rootRaw uint8) bool {
+		rng := rand.New(rand.NewSource(int64(seedRaw)))
+		n := 15 + int(seedRaw)%25
+		g := graph.RandomSC(n, 3*n, 5, rng)
+		root := graph.NodeID(int(rootRaw) % n)
+		tr, err := BuildDouble(g, root, nil)
+		if err != nil {
+			return false
+		}
+		var maxRT graph.Dist
+		for v := 0; v < n; v++ {
+			from, ok1 := tr.DistFrom(graph.NodeID(v))
+			to, ok2 := tr.DistTo(graph.NodeID(v))
+			if !ok1 || !ok2 {
+				return false
+			}
+			if rt := from + to; rt > maxRT {
+				maxRT = rt
+			}
+		}
+		return maxRT == tr.RTHeight()
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLabelBoundOverSeeds(t *testing.T) {
+	err := quick.Check(func(seedRaw uint16) bool {
+		rng := rand.New(rand.NewSource(int64(seedRaw)))
+		n := 32 + int(seedRaw)%96
+		g := graph.RandomSC(n, 3*n, 6, rng)
+		tr, err := BuildDouble(g, 0, nil)
+		if err != nil {
+			return false
+		}
+		bound := TheoreticalLabelBound(n)
+		for v := 0; v < n; v++ {
+			lbl, _ := tr.LabelOf(graph.NodeID(v))
+			if len(lbl.Light) > bound {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickInTreeNextHopDecreasesDistance(t *testing.T) {
+	// Following InPort must strictly decrease the remaining distance to
+	// the root — the invariant that makes in-tree routing loop-free.
+	err := quick.Check(func(seedRaw uint16, rootRaw uint8) bool {
+		rng := rand.New(rand.NewSource(int64(seedRaw)))
+		n := 15 + int(seedRaw)%25
+		g := graph.RandomSC(n, 3*n, 5, rng)
+		root := graph.NodeID(int(rootRaw) % n)
+		tr, err := BuildDouble(g, root, nil)
+		if err != nil {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if graph.NodeID(v) == root {
+				continue
+			}
+			port, ok := tr.InPort(graph.NodeID(v))
+			if !ok {
+				return false
+			}
+			e, ok := g.EdgeByPort(graph.NodeID(v), port)
+			if !ok {
+				return false
+			}
+			dv, _ := tr.DistTo(graph.NodeID(v))
+			dn, _ := tr.DistTo(e.To)
+			if dn >= dv {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,288 @@
+// Package rtroute is a Go implementation of compact roundtrip routing
+// with topology-independent node names (TINN), reproducing
+//
+//	Marta Arias, Lenore J. Cowen, Kofi A. Laing,
+//	"Compact roundtrip routing with topology-independent node names",
+//	PODC 2003 / J. Computer and System Sciences 74 (2008) 775-795.
+//
+// The library routes packets in strongly connected directed weighted
+// networks where node names carry no topological information (an
+// adversarial permutation of {0..n-1}), ports are labeled adversarially,
+// and a packet arrives carrying only its destination's name. Three
+// schemes trade local table size against roundtrip stretch:
+//
+//   - StretchSix: O~(sqrt n) tables, stretch 6, arbitrary weights (§2);
+//   - ExStretch(k): O~(n^(1/k)) tables, stretch exponential in k (§3);
+//   - Polynomial(k): O~(k^2 n^(2/k) log D) tables, stretch 8k^2+4k-4 (§4).
+//
+// Quick start:
+//
+//	rng := rand.New(rand.NewSource(1))
+//	g := rtroute.RandomSC(64, 256, 8, rng)
+//	sys, _ := rtroute.NewSystem(g, rtroute.RandomNaming(64, rng))
+//	scheme, _ := sys.BuildStretchSix(42)
+//	trace, _ := scheme.Roundtrip(srcName, dstName)
+//	fmt.Println(sys.Stretch(srcName, dstName, trace))
+package rtroute
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"rtroute/internal/blocks"
+	"rtroute/internal/core"
+	"rtroute/internal/cover"
+	"rtroute/internal/eval"
+	"rtroute/internal/graph"
+	"rtroute/internal/lowerbound"
+	"rtroute/internal/names"
+	"rtroute/internal/sim"
+)
+
+// Core aliases: the facade exposes the internal types directly so that
+// values flow between the public API and the experiment harness without
+// copying.
+type (
+	// Dist is an exact integer distance.
+	Dist = graph.Dist
+	// NodeID is a topological node index.
+	NodeID = graph.NodeID
+	// Graph is a directed weighted graph with fixed-port edge labels.
+	Graph = graph.Graph
+	// Metric is an all-pairs distance matrix with roundtrip helpers.
+	Metric = graph.Metric
+	// Naming maps topological indices to TINN names and back.
+	Naming = names.Permutation
+	// Scheme is a built TINN roundtrip routing scheme.
+	Scheme = core.Scheme
+	// RoundtripTrace reports both legs of one routed roundtrip.
+	RoundtripTrace = sim.RoundtripTrace
+	// CoverVariant selects the sparse-cover construction.
+	CoverVariant = cover.Variant
+)
+
+// Inf is the distance of unreachable pairs.
+const Inf = graph.Inf
+
+// Cover variants for the §4 scheme and the hop substrate.
+const (
+	CoverAwerbuchPeleg = cover.VariantAwerbuchPeleg
+	CoverBallGrowing   = cover.VariantBallGrowing
+)
+
+// NewGraph returns an empty graph on n nodes.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// Graph generators (seeded, always strongly connected).
+var (
+	RandomSC    = graph.RandomSC
+	RandomGNP   = graph.RandomGNP
+	Ring        = graph.Ring
+	Grid        = graph.Grid
+	Bidirect    = graph.Bidirect
+	ScaleFreeSC = graph.ScaleFreeSC
+	LayeredSC   = graph.LayeredSC
+	Complete    = graph.Complete
+)
+
+// Namings.
+var (
+	IdentityNaming = names.Identity
+	RandomNaming   = names.Random
+	ReversedNaming = names.Reversed
+)
+
+// NewNaming validates an explicit name permutation (names[v] is the TINN
+// name of node v).
+func NewNaming(nodeNames []int32) (*Naming, error) { return names.NewPermutation(nodeNames) }
+
+// Directory realizes the §1.1.2 hashing reduction for self-chosen names:
+// arbitrary byte-string names are hashed onto {0..n-1} with per-slot
+// buckets carrying the colliding full names.
+type Directory = names.Directory
+
+// NewDirectory hashes the given unique self-chosen names into n slots.
+func NewDirectory(fullNames []string, n int, rng *rand.Rand) (*Directory, error) {
+	return names.NewDirectory(fullNames, n, rng)
+}
+
+// AllPairs computes the distance metric of g.
+func AllPairs(g *Graph) *Metric { return graph.AllPairs(g) }
+
+// AllPairsParallel computes the metric with a worker pool (0 = GOMAXPROCS).
+func AllPairsParallel(g *Graph, workers int) *Metric { return graph.AllPairsParallel(g, workers) }
+
+// ReadGraph parses a graph in the textual exchange format of
+// (*Graph).WriteTo.
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.Read(r) }
+
+// StronglyConnected reports whether g is strongly connected.
+func StronglyConnected(g *Graph) bool { return graph.StronglyConnected(g) }
+
+// System bundles a network, its metric and its naming, and builds routing
+// schemes over them.
+type System struct {
+	Graph  *Graph
+	Metric *Metric
+	Naming *Naming
+}
+
+// NewSystem validates the network and computes its metric. The naming
+// must cover exactly the graph's nodes; nil selects the identity naming.
+func NewSystem(g *Graph, naming *Naming) (*System, error) {
+	if g.N() < 2 {
+		return nil, fmt.Errorf("rtroute: need at least 2 nodes, got %d", g.N())
+	}
+	if !graph.StronglyConnected(g) {
+		return nil, fmt.Errorf("rtroute: graph is not strongly connected; roundtrip distances would be infinite")
+	}
+	if naming == nil {
+		naming = names.Identity(g.N())
+	}
+	if naming.N() != g.N() {
+		return nil, fmt.Errorf("rtroute: naming covers %d nodes, graph has %d", naming.N(), g.N())
+	}
+	return &System{Graph: g, Metric: graph.AllPairs(g), Naming: naming}, nil
+}
+
+// R returns the roundtrip distance between two NAMES.
+func (s *System) R(srcName, dstName int32) Dist {
+	return s.Metric.R(NodeID(s.Naming.Node(srcName)), NodeID(s.Naming.Node(dstName)))
+}
+
+// D returns the one-way distance between two NAMES.
+func (s *System) D(srcName, dstName int32) Dist {
+	return s.Metric.D(NodeID(s.Naming.Node(srcName)), NodeID(s.Naming.Node(dstName)))
+}
+
+// Stretch returns the roundtrip stretch of a measured trace for the pair.
+func (s *System) Stretch(srcName, dstName int32, tr *RoundtripTrace) float64 {
+	r := s.R(srcName, dstName)
+	if r == 0 {
+		return 1
+	}
+	return float64(tr.Weight()) / float64(r)
+}
+
+// BuildStretchSix builds the §2 scheme (stretch 6, O~(sqrt n) tables).
+func (s *System) BuildStretchSix(seed int64) (*core.StretchSix, error) {
+	return core.NewStretchSix(s.Graph, s.Metric, s.Naming, rand.New(rand.NewSource(seed)), core.Stretch6Config{})
+}
+
+// BuildStretchSixViaSource builds the §2.2 variant that fetches the
+// destination's address back to the source before routing (same worst
+// case, longer paths in practice).
+func (s *System) BuildStretchSixViaSource(seed int64) (*core.StretchSix, error) {
+	return core.NewStretchSix(s.Graph, s.Metric, s.Naming, rand.New(rand.NewSource(seed)), core.Stretch6Config{ViaSource: true})
+}
+
+// BuildExStretch builds the §3 scheme with tradeoff parameter k >= 2.
+func (s *System) BuildExStretch(k int, seed int64) (*core.ExStretch, error) {
+	return core.NewExStretch(s.Graph, s.Metric, s.Naming, rand.New(rand.NewSource(seed)), core.ExStretchConfig{K: k})
+}
+
+// BuildExStretchDirectReturn builds the §3.5 variant that carries the
+// source's globally valid label and returns without retracing waypoints
+// (longer headers, bigger tables).
+func (s *System) BuildExStretchDirectReturn(k int, seed int64) (*core.ExStretch, error) {
+	return core.NewExStretch(s.Graph, s.Metric, s.Naming, rand.New(rand.NewSource(seed)), core.ExStretchConfig{K: k, DirectReturn: true})
+}
+
+// Full configuration aliases for callers needing every knob (block
+// assignment density, cover variants, build parallelism, return-trip
+// policies).
+type (
+	// Stretch6Options configures BuildStretchSixWith.
+	Stretch6Options = core.Stretch6Config
+	// ExStretchOptions configures BuildExStretchWith.
+	ExStretchOptions = core.ExStretchConfig
+	// PolyOptions configures BuildPolynomialWith.
+	PolyOptions = core.PolyConfig
+	// BlockOptions configures the Lemma 1/4 dictionary assignment.
+	BlockOptions = blocks.Config
+)
+
+// BuildStretchSixWith builds the §2 scheme with explicit options.
+func (s *System) BuildStretchSixWith(seed int64, opts Stretch6Options) (*core.StretchSix, error) {
+	return core.NewStretchSix(s.Graph, s.Metric, s.Naming, rand.New(rand.NewSource(seed)), opts)
+}
+
+// BuildExStretchWith builds the §3 scheme with explicit options.
+func (s *System) BuildExStretchWith(seed int64, opts ExStretchOptions) (*core.ExStretch, error) {
+	return core.NewExStretch(s.Graph, s.Metric, s.Naming, rand.New(rand.NewSource(seed)), opts)
+}
+
+// BuildPolynomialWith builds the §4 scheme with explicit options.
+func (s *System) BuildPolynomialWith(opts PolyOptions) (*core.PolynomialStretch, error) {
+	return core.NewPolynomialStretch(s.Graph, s.Metric, s.Naming, opts)
+}
+
+// BuildPolynomial builds the §4 scheme with tradeoff parameter k >= 2.
+func (s *System) BuildPolynomial(k int) (*core.PolynomialStretch, error) {
+	return core.NewPolynomialStretch(s.Graph, s.Metric, s.Naming, core.PolyConfig{K: k})
+}
+
+// BuildPolynomialVariant builds the §4 scheme with an explicit cover
+// variant and scale base (the §4.4 ablation knobs).
+func (s *System) BuildPolynomialVariant(k int, base float64, v CoverVariant) (*core.PolynomialStretch, error) {
+	return core.NewPolynomialStretch(s.Graph, s.Metric, s.Naming, core.PolyConfig{K: k, ScaleBase: base, Variant: v})
+}
+
+// Experiment harness re-exports (see DESIGN.md's experiment index).
+type (
+	// Fig1Row is one measured row of the paper's comparison table.
+	Fig1Row = eval.Row
+	// Fig1Config parameterizes Fig-1 regeneration.
+	Fig1Config = eval.Fig1Config
+	// StretchStats aggregates measured stretch over a pair set.
+	StretchStats = eval.StretchStats
+	// LowerBoundReport is one pair's Theorem 15 reduction record.
+	LowerBoundReport = lowerbound.PairReport
+)
+
+// Fig1 regenerates the paper's comparison table empirically.
+func Fig1(cfg Fig1Config) ([]Fig1Row, error) { return eval.Fig1(cfg) }
+
+// FormatFig1 renders Fig-1 rows as an aligned text table.
+func FormatFig1(rows []Fig1Row) string { return eval.FormatRows(rows) }
+
+// SpaceSweep measures stretch-6 table sizes across graph sizes (E9).
+func SpaceSweep(ns []int, seed int64) ([]eval.SpacePoint, error) { return eval.SpaceSweep(ns, seed) }
+
+// FormatSpaceSweep renders a space sweep as text.
+func FormatSpaceSweep(pts []eval.SpacePoint) string { return eval.FormatSpacePoints(pts) }
+
+// MeasureScheme measures a scheme's roundtrip stretch over sampled pairs.
+func MeasureScheme(sys *System, sch Scheme, pairLimit int, seed int64) (StretchStats, error) {
+	rng := rand.New(rand.NewSource(seed))
+	pairs := eval.Pairs(sys.Graph.N(), pairLimit, rng)
+	return eval.MeasureRoundtrips(sys.Metric, sys.Naming, sch.Roundtrip, pairs)
+}
+
+// ProfileBucket is one distance quantile of a stretch profile.
+type ProfileBucket = eval.ProfileBucket
+
+// ProfileScheme buckets a scheme's measured stretch by roundtrip
+// distance quantile — near vs. far destinations.
+func ProfileScheme(sys *System, sch Scheme, pairLimit, buckets int, seed int64) ([]ProfileBucket, error) {
+	rng := rand.New(rand.NewSource(seed))
+	pairs := eval.Pairs(sys.Graph.N(), pairLimit, rng)
+	return eval.ProfileByDistance(sys.Metric, sys.Naming, sch.Roundtrip, pairs, buckets)
+}
+
+// FormatProfile renders a stretch profile as text.
+func FormatProfile(buckets []ProfileBucket) string { return eval.FormatProfile(buckets) }
+
+// AnalyzeLowerBound runs the Theorem 15 reduction of a scheme over a
+// bidirected graph (E8).
+func AnalyzeLowerBound(sys *System, sch Scheme) ([]LowerBoundReport, error) {
+	return lowerbound.Analyze(sys.Graph, sys.Metric, sch, func(v NodeID) int32 {
+		return sys.Naming.Name(int32(v))
+	})
+}
+
+// SummarizeLowerBound folds reduction reports into aggregates.
+func SummarizeLowerBound(reports []LowerBoundReport) lowerbound.Summary {
+	return lowerbound.Summarize(reports)
+}
