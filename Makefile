@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: all build test verify race short large bench fmt vet lint ci
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-1 verification (ROADMAP.md).
+verify: build test
+
+race:
+	$(GO) test -race ./...
+
+short:
+	$(GO) test -short ./...
+
+# 5,000-node lazy-oracle acceptance run (see oracle_equiv_test.go).
+large:
+	RTROUTE_LARGE=1 $(GO) test -run TestLazyStretchSixLargeScale -v -timeout 3600s .
+
+bench:
+	$(GO) test -run XXX -bench . -benchmem ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+lint: fmt vet
+
+ci: lint build race

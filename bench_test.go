@@ -318,3 +318,110 @@ func BenchmarkInitOrder(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkMetricBuild compares the cost of standing up each
+// DistanceOracle flavor on the same 512-node graph: the sequential dense
+// matrix (the pre-refactor default), the parallel dense build (the new
+// AllPairs default), and the lazy oracle driven through one full
+// row sweep (2n Dijkstras, bounded cache) — the worst case a scheme
+// build can demand of it.
+func BenchmarkMetricBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(31))
+	g := RandomSC(512, 2048, 8, rng)
+	b.Run("dense-sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if m := graph.AllPairsSequential(g); m.N() != g.N() {
+				b.Fatal("bad metric")
+			}
+		}
+	})
+	b.Run("dense-parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if m := AllPairs(g); m.N() != g.N() {
+				b.Fatal("bad metric")
+			}
+		}
+	})
+	b.Run("lazy-full-sweep", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			o := NewLazyOracle(g, 64)
+			var sink Dist
+			for u := 0; u < g.N(); u++ {
+				sink += o.FromSource(NodeID(u))[0] + o.ToSink(NodeID(u))[0]
+			}
+			if sink < 0 {
+				b.Fatal("impossible")
+			}
+		}
+	})
+	b.Run("lazy-single-row", func(b *testing.B) {
+		// The latency a cold point query actually pays: one Dijkstra,
+		// versus the full n-Dijkstra dense build it replaces.
+		for i := 0; i < b.N; i++ {
+			o := NewLazyOracle(g, 2)
+			if o.FromSource(NodeID(i % g.N()))[0] < 0 {
+				b.Fatal("impossible")
+			}
+		}
+	})
+}
+
+// BenchmarkEdgeByPort compares the per-hop port-resolution cost before
+// and after the CSR index: the O(degree) linear scan the simulator used
+// to pay on every hop versus the sealed binary-search lookup.
+func BenchmarkEdgeByPort(b *testing.B) {
+	rng := rand.New(rand.NewSource(33))
+	g := RandomSC(1024, 16*1024, 8, rng)
+	g.AssignPorts(rng.Intn)
+	// Collect one valid (node, port) probe per node.
+	probes := make([]struct {
+		u NodeID
+		p graph.PortID
+	}, g.N())
+	for u := 0; u < g.N(); u++ {
+		edges := g.Out(NodeID(u))
+		probes[u].u = NodeID(u)
+		probes[u].p = edges[len(edges)-1].Port
+	}
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pr := probes[i%len(probes)]
+			found := false
+			for _, e := range g.Out(pr.u) {
+				if e.Port == pr.p {
+					found = true
+					break
+				}
+			}
+			if !found {
+				b.Fatal("probe port missing")
+			}
+		}
+	})
+	b.Run("csr", func(b *testing.B) {
+		if _, ok := g.EdgeByPort(probes[0].u, probes[0].p); !ok {
+			b.Fatal("probe port missing")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pr := probes[i%len(probes)]
+			if _, ok := g.EdgeByPort(pr.u, pr.p); !ok {
+				b.Fatal("probe port missing")
+			}
+		}
+	})
+	b.Run("portto-hash", func(b *testing.B) {
+		// The companion O(1) pair lookup used by table construction.
+		targets := make([]NodeID, len(probes))
+		for u := range targets {
+			targets[u] = g.Out(NodeID(u))[0].To
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			u := NodeID(i % len(targets))
+			if _, ok := g.PortTo(u, targets[u]); !ok {
+				b.Fatal("edge missing")
+			}
+		}
+	})
+}

@@ -23,17 +23,37 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "fig1", "experiment: fig1|fig2|space|stretch|lower|ablation")
-		n    = flag.Int("n", 64, "number of nodes")
-		seed = flag.Int64("seed", 1, "random seed")
-		ks   = flag.String("k", "2,3", "comma-separated tradeoff parameters")
+		exp    = flag.String("exp", "fig1", "experiment: fig1|fig2|space|stretch|lower|ablation")
+		n      = flag.Int("n", 64, "number of nodes")
+		seed   = flag.Int64("seed", 1, "random seed")
+		ks     = flag.String("k", "2,3", "comma-separated tradeoff parameters")
+		metric = flag.String("metric", "dense", "distance oracle: dense|lazy")
+		cache  = flag.Int("lazy-cache", 0, "lazy oracle row-cache budget (0 = default)")
 	)
 	flag.Parse()
+	metricKind = rtroute.MetricKind(*metric)
+	lazyCacheRows = *cache
+	if metricKind != rtroute.MetricDense && metricKind != rtroute.MetricLazy {
+		fmt.Fprintf(os.Stderr, "rtbench: unknown -metric %q (want %q or %q)\n",
+			*metric, rtroute.MetricDense, rtroute.MetricLazy)
+		os.Exit(2)
+	}
 
 	if err := run(*exp, *n, *seed, parseKs(*ks)); err != nil {
 		fmt.Fprintln(os.Stderr, "rtbench:", err)
 		os.Exit(1)
 	}
+}
+
+// metricKind selects the distance oracle for every experiment that
+// builds a System (-metric flag); lazyCacheRows bounds the lazy cache.
+var (
+	metricKind    = rtroute.MetricDense
+	lazyCacheRows int
+)
+
+func newSystem(g *rtroute.Graph, naming *rtroute.Naming) (*rtroute.System, error) {
+	return rtroute.NewSystemWith(g, naming, rtroute.SystemConfig{Metric: metricKind, LazyCacheRows: lazyCacheRows})
 }
 
 func parseKs(s string) []int {
@@ -78,7 +98,7 @@ func runProfile(n int, seed int64) error {
 	fmt.Printf("# stretch profile by roundtrip distance (n=%d, seed=%d)\n\n", n, seed)
 	rng := rand.New(rand.NewSource(seed))
 	g := rtroute.RandomSC(n, 4*n, 8, rng)
-	sys, err := rtroute.NewSystem(g, rtroute.RandomNaming(n, rng))
+	sys, err := newSystem(g, rtroute.RandomNaming(n, rng))
 	if err != nil {
 		return err
 	}
@@ -107,7 +127,7 @@ func runFig5(n int, seed int64) error {
 	fmt.Printf("# Fig. 5 — prefix-matching dictionary walk (ExStretch, n=%d, seed=%d)\n\n", n, seed)
 	rng := rand.New(rand.NewSource(seed))
 	g := rtroute.RandomSC(n, 4*n, 6, rng)
-	sys, err := rtroute.NewSystem(g, rtroute.RandomNaming(n, rng))
+	sys, err := newSystem(g, rtroute.RandomNaming(n, rng))
 	if err != nil {
 		return err
 	}
@@ -146,7 +166,7 @@ func runFig10(n int, seed int64) error {
 	fmt.Printf("# Fig. 10 — center-relayed route inside a home double-tree (PolynomialStretch, n=%d, seed=%d)\n\n", n, seed)
 	rng := rand.New(rand.NewSource(seed))
 	g := rtroute.RandomSC(n, 4*n, 6, rng)
-	sys, err := rtroute.NewSystem(g, rtroute.RandomNaming(n, rng))
+	sys, err := newSystem(g, rtroute.RandomNaming(n, rng))
 	if err != nil {
 		return err
 	}
@@ -176,7 +196,10 @@ func runFig10(n int, seed int64) error {
 
 func runFig1(n int, seed int64, ks []int) error {
 	fmt.Printf("# E1 / Fig. 1 — scheme comparison on a random SC digraph (n=%d, seed=%d)\n\n", n, seed)
-	rows, err := rtroute.Fig1(rtroute.Fig1Config{N: n, Seed: seed, Ks: ks})
+	rows, err := rtroute.Fig1(rtroute.Fig1Config{
+		N: n, Seed: seed, Ks: ks,
+		Lazy: metricKind == rtroute.MetricLazy, LazyCacheRows: lazyCacheRows,
+	})
 	if err != nil {
 		return err
 	}
@@ -189,7 +212,7 @@ func runFig2(n int, seed int64) error {
 	fmt.Printf("# E2 / Fig. 2 — block distribution (Lemma 1) on n=%d, seed=%d\n\n", n, seed)
 	rng := rand.New(rand.NewSource(seed))
 	g := rtroute.RandomSC(n, 3*n, 1, rng)
-	sys, err := rtroute.NewSystem(g, rtroute.RandomNaming(n, rng))
+	sys, err := newSystem(g, rtroute.RandomNaming(n, rng))
 	if err != nil {
 		return err
 	}
@@ -221,7 +244,7 @@ func runStretch(n int, seed int64, ks []int) error {
 	fmt.Printf("# E3/E4/E6 — stretch distributions (n=%d, seed=%d)\n\n", n, seed)
 	rng := rand.New(rand.NewSource(seed))
 	g := rtroute.RandomSC(n, 4*n, 8, rng)
-	sys, err := rtroute.NewSystem(g, rtroute.RandomNaming(n, rng))
+	sys, err := newSystem(g, rtroute.RandomNaming(n, rng))
 	if err != nil {
 		return err
 	}
@@ -265,7 +288,7 @@ func runLower(n int, seed int64) error {
 	rng := rand.New(rand.NewSource(seed))
 	g := rtroute.Bidirect(rtroute.RandomSC(n, 3*n, 4, rng))
 	g.AssignPorts(rng.Intn)
-	sys, err := rtroute.NewSystem(g, rtroute.RandomNaming(g.N(), rng))
+	sys, err := newSystem(g, rtroute.RandomNaming(g.N(), rng))
 	if err != nil {
 		return err
 	}
@@ -290,7 +313,7 @@ func runAblation(n int, seed int64) error {
 	fmt.Printf("# E10 / §4.4 — cover-variant ablation for polystretch (n=%d, seed=%d)\n\n", n, seed)
 	rng := rand.New(rand.NewSource(seed))
 	g := rtroute.RandomSC(n, 4*n, 6, rng)
-	sys, err := rtroute.NewSystem(g, rtroute.RandomNaming(n, rng))
+	sys, err := newSystem(g, rtroute.RandomNaming(n, rng))
 	if err != nil {
 		return err
 	}

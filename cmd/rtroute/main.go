@@ -29,10 +29,11 @@ func main() {
 		graphT = flag.String("graph", "random", "graph family: random|ring|grid|scalefree|layered")
 		load   = flag.String("load", "", "load a graph from this file instead of generating one")
 		verbo  = flag.Bool("v", false, "print the full node path")
+		metric = flag.String("metric", "dense", "distance oracle: dense (n^2 matrix) | lazy (bounded row cache)")
 	)
 	flag.Parse()
 
-	if err := run(*n, *seed, *scheme, *k, int32(*src), int32(*dst), *all, *graphT, *load, *verbo); err != nil {
+	if err := run(*n, *seed, *scheme, *k, int32(*src), int32(*dst), *all, *graphT, *load, *verbo, rtroute.MetricKind(*metric)); err != nil {
 		fmt.Fprintln(os.Stderr, "rtroute:", err)
 		os.Exit(1)
 	}
@@ -64,7 +65,7 @@ func makeGraph(family string, n int, rng *rand.Rand) (*rtroute.Graph, error) {
 	}
 }
 
-func run(n int, seed int64, schemeName string, k int, src, dst int32, all bool, family, load string, verbose bool) error {
+func run(n int, seed int64, schemeName string, k int, src, dst int32, all bool, family, load string, verbose bool, metric rtroute.MetricKind) error {
 	rng := rand.New(rand.NewSource(seed))
 	var (
 		g   *rtroute.Graph
@@ -87,7 +88,7 @@ func run(n int, seed int64, schemeName string, k int, src, dst int32, all bool, 
 			return err
 		}
 	}
-	sys, err := rtroute.NewSystem(g, rtroute.RandomNaming(g.N(), rng))
+	sys, err := rtroute.NewSystemWith(g, rtroute.RandomNaming(g.N(), rng), rtroute.SystemConfig{Metric: metric})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,3 @@
+module rtroute
+
+go 1.24

@@ -157,8 +157,8 @@ type ExStretchConfig struct {
 	BuildWorkers int
 }
 
-// NewExStretch builds the scheme.
-func NewExStretch(g *graph.Graph, m *graph.Metric, perm *names.Permutation, rng *rand.Rand, cfg ExStretchConfig) (*ExStretch, error) {
+// NewExStretch builds the scheme. m may be any distance oracle.
+func NewExStretch(g *graph.Graph, m graph.DistanceOracle, perm *names.Permutation, rng *rand.Rand, cfg ExStretchConfig) (*ExStretch, error) {
 	n := g.N()
 	if cfg.K < 2 {
 		return nil, fmt.Errorf("core: exstretch needs K >= 2, got %d", cfg.K)

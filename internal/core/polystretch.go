@@ -109,8 +109,8 @@ type PolyConfig struct {
 	BuildWorkers int
 }
 
-// NewPolynomialStretch builds the scheme.
-func NewPolynomialStretch(g *graph.Graph, m *graph.Metric, perm *names.Permutation, cfg PolyConfig) (*PolynomialStretch, error) {
+// NewPolynomialStretch builds the scheme. m may be any distance oracle.
+func NewPolynomialStretch(g *graph.Graph, m graph.DistanceOracle, perm *names.Permutation, cfg PolyConfig) (*PolynomialStretch, error) {
 	n := g.N()
 	if cfg.K < 2 {
 		return nil, fmt.Errorf("core: polynomial stretch needs K >= 2, got %d", cfg.K)

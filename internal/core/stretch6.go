@@ -112,8 +112,9 @@ type Stretch6Config struct {
 	BuildWorkers int
 }
 
-// NewStretchSix builds the scheme over g with naming perm.
-func NewStretchSix(g *graph.Graph, m *graph.Metric, perm *names.Permutation, rng *rand.Rand, cfg Stretch6Config) (*StretchSix, error) {
+// NewStretchSix builds the scheme over g with naming perm. m may be any
+// distance oracle; construction never requires the dense n×n matrix.
+func NewStretchSix(g *graph.Graph, m graph.DistanceOracle, perm *names.Permutation, rng *rand.Rand, cfg Stretch6Config) (*StretchSix, error) {
 	n := g.N()
 	if n < 2 {
 		return nil, fmt.Errorf("core: stretch-6 needs at least 2 nodes, got %d", n)

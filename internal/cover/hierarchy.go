@@ -92,11 +92,27 @@ func Scales(rtDiam graph.Dist, base float64) []graph.Dist {
 // BuildHierarchy constructs covers and double-trees at every scale of the
 // ladder for the roundtrip metric of m. base is the scale ratio (the
 // paper uses 2; §4.4 notes 1+eps tightens the hop stretch at the price of
-// more levels).
-func BuildHierarchy(g *graph.Graph, m *graph.Metric, k int, base float64, variant Variant) (*Hierarchy, error) {
-	rt := func(u, v graph.NodeID) graph.Dist { return m.R(u, v) }
+// more levels). m may be any distance oracle: the ball constructions scan
+// r(v, ·) with a fixed anchor, which a lazy oracle serves from two cached
+// rows per node.
+func BuildHierarchy(g *graph.Graph, m graph.DistanceOracle, k int, base float64, variant Variant) (*Hierarchy, error) {
+	// The ball scans below call rt with a fixed anchor across each inner
+	// loop, so cache the anchor's two rows here instead of paying the
+	// oracle's per-call bookkeeping n times per anchor. Build and
+	// BuildBallGrowing are single-goroutine, so plain captures suffice.
+	var (
+		anchor   graph.NodeID = -1
+		fwd, rev []graph.Dist
+	)
+	rt := func(u, v graph.NodeID) graph.Dist {
+		if u != anchor {
+			fwd, rev = m.FromSource(u), m.ToSink(u)
+			anchor = u
+		}
+		return graph.RFromRows(fwd, rev, v)
+	}
 	h := &Hierarchy{K: k, Base: base, memberships: make([][]TreeRef, g.N())}
-	for li, scale := range Scales(m.RTDiam(), base) {
+	for li, scale := range Scales(graph.RTDiamOf(m), base) {
 		var (
 			res *Result
 			err error

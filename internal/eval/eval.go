@@ -56,7 +56,7 @@ func Pairs(n, limit int, rng *rand.Rand) [][2]graph.NodeID {
 
 // MeasureRoundtrips drives the given roundtrip function over the pairs
 // and reports stretch statistics against the metric.
-func MeasureRoundtrips(m *graph.Metric, perm *names.Permutation, rt RoundtripFunc, pairs [][2]graph.NodeID) (StretchStats, error) {
+func MeasureRoundtrips(m graph.DistanceOracle, perm *names.Permutation, rt RoundtripFunc, pairs [][2]graph.NodeID) (StretchStats, error) {
 	var stats StretchStats
 	stretches := make([]float64, 0, len(pairs))
 	var sum float64
@@ -110,6 +110,11 @@ type Fig1Config struct {
 	Seed       int64
 	PairLimit  int
 	Ks         []int // tradeoff parameters for ExStretch/Poly rows
+	// Lazy builds and measures every scheme through the bounded lazy
+	// oracle instead of the dense matrix. Outputs are identical; peak
+	// memory drops from n^2 words to LazyCacheRows·n.
+	Lazy          bool
+	LazyCacheRows int
 }
 
 func (c *Fig1Config) fill() {
@@ -137,7 +142,12 @@ func Fig1(cfg Fig1Config) ([]Row, error) {
 	cfg.fill()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	g := graph.RandomSC(cfg.N, cfg.ExtraEdges, cfg.MaxWeight, rng)
-	m := graph.AllPairs(g)
+	var m graph.DistanceOracle
+	if cfg.Lazy {
+		m = graph.NewLazyOracle(g, cfg.LazyCacheRows)
+	} else {
+		m = graph.AllPairs(g)
+	}
 	perm := names.Random(cfg.N, rng)
 	pairs := Pairs(cfg.N, cfg.PairLimit, rng)
 	var rows []Row

@@ -22,7 +22,7 @@ type ProfileBucket struct {
 
 // ProfileByDistance measures the roundtrip function over the pairs and
 // buckets stretch by quantiles of the true roundtrip distance.
-func ProfileByDistance(m *graph.Metric, perm *names.Permutation, rt RoundtripFunc, pairs [][2]graph.NodeID, buckets int) ([]ProfileBucket, error) {
+func ProfileByDistance(m graph.DistanceOracle, perm *names.Permutation, rt RoundtripFunc, pairs [][2]graph.NodeID, buckets int) ([]ProfileBucket, error) {
 	if buckets < 1 {
 		buckets = 4
 	}

@@ -1,18 +1,31 @@
 // Package graph implements the directed weighted graph substrate used by
 // every routing scheme in this repository: strongly connected digraphs with
 // positive integer edge weights, adversarial fixed-port edge labels,
-// shortest-path machinery (forward and reverse Dijkstra, all-pairs), and
-// Tarjan strong-connectivity checking.
+// shortest-path machinery (forward and reverse Dijkstra, all-pairs, lazy
+// per-row oracles), and Tarjan strong-connectivity checking.
 //
 // Weights are int64 so that all distance arithmetic — and therefore every
 // stretch-bound check in the test suite — is exact. The paper's weight
 // model (positive reals in [1, W]) is faithfully represented: any rational
 // instance can be scaled to integers without changing shortest paths.
+//
+// Storage model: adjacency is built incrementally as per-node edge slices
+// (the only mutable representation), and the first port/pair lookup seals
+// a CSR index over it — flat edge arrays with offset tables, a per-node
+// port→slot order, and an (u,v)→slot hash — so the per-hop hot path
+// (EdgeByPort, PortTo, HasEdge) costs O(log degree) / O(1) instead of an
+// O(degree) scan. Mutations invalidate the index; it is rebuilt lazily and
+// concurrency-safely on the next lookup. Mutating a graph concurrently
+// with reads is not safe (like the built-in map); concurrent reads,
+// including the ones that trigger sealing, are.
 package graph
 
 import (
 	"fmt"
 	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Dist is an exact (integer) path length. Roundtrip distances, cluster
@@ -45,12 +58,39 @@ type InEdge struct {
 	Weight Dist
 }
 
+// pairKey packs a directed node pair for the (u,v)→slot hash.
+func pairKey(u, v NodeID) uint64 { return uint64(uint32(u))<<32 | uint64(uint32(v)) }
+
+// csrIndex is the sealed lookup index: the adjacency flattened into CSR
+// arrays plus a per-node port-sorted order for binary-searched port
+// resolution. It is immutable once published.
+type csrIndex struct {
+	outStart []int32 // len n+1; out-edges of u are outEdges[outStart[u]:outStart[u+1]]
+	outEdges []Edge  // flat copy, same per-node slot order as the build slices
+	inStart  []int32
+	inEdges  []InEdge
+	// portPorts[outStart[u]+i] is the i-th smallest port label at u and
+	// portSlot[outStart[u]+i] the slot (index into u's out-edge segment)
+	// carrying it: EdgeByPort binary-searches the segment.
+	portPorts []PortID
+	portSlot  []int32
+}
+
 // Graph is a directed graph with positive weights and fixed-port labels.
 // The zero value is an empty graph; use New to create one with n nodes.
 type Graph struct {
 	out [][]Edge
 	in  [][]InEdge
 	m   int
+	// pair maps (u,v) to the slot of the edge in out[u]. Maintained
+	// eagerly by AddEdge, so HasEdge/PortTo and duplicate detection are
+	// O(1) even while the graph is still being built.
+	pair map[uint64]int32
+
+	// idx is the sealed CSR index, nil until the first port lookup and
+	// after any mutation. sealMu serializes (re)builds.
+	idx    atomic.Pointer[csrIndex]
+	sealMu sync.Mutex
 }
 
 // New returns an empty graph on n nodes.
@@ -59,8 +99,9 @@ func New(n int) *Graph {
 		panic(fmt.Sprintf("graph: negative node count %d", n))
 	}
 	return &Graph{
-		out: make([][]Edge, n),
-		in:  make([][]InEdge, n),
+		out:  make([][]Edge, n),
+		in:   make([][]InEdge, n),
+		pair: make(map[uint64]int32),
 	}
 }
 
@@ -69,6 +110,54 @@ func (g *Graph) N() int { return len(g.out) }
 
 // M returns the number of directed edges.
 func (g *Graph) M() int { return g.m }
+
+// invalidate drops the sealed index after a mutation.
+func (g *Graph) invalidate() { g.idx.Store(nil) }
+
+// index returns the sealed CSR index, building it on first use. Safe for
+// concurrent callers; the built index is immutable.
+func (g *Graph) index() *csrIndex {
+	if idx := g.idx.Load(); idx != nil {
+		return idx
+	}
+	g.sealMu.Lock()
+	defer g.sealMu.Unlock()
+	if idx := g.idx.Load(); idx != nil {
+		return idx
+	}
+	n := g.N()
+	idx := &csrIndex{
+		outStart: make([]int32, n+1),
+		inStart:  make([]int32, n+1),
+		outEdges: make([]Edge, 0, g.m),
+		inEdges:  make([]InEdge, 0, g.m),
+	}
+	for u := 0; u < n; u++ {
+		idx.outStart[u] = int32(len(idx.outEdges))
+		idx.outEdges = append(idx.outEdges, g.out[u]...)
+		idx.inStart[u] = int32(len(idx.inEdges))
+		idx.inEdges = append(idx.inEdges, g.in[u]...)
+	}
+	idx.outStart[n] = int32(len(idx.outEdges))
+	idx.inStart[n] = int32(len(idx.inEdges))
+
+	idx.portPorts = make([]PortID, len(idx.outEdges))
+	idx.portSlot = make([]int32, len(idx.outEdges))
+	for u := 0; u < n; u++ {
+		lo, hi := idx.outStart[u], idx.outStart[u+1]
+		seg := idx.portSlot[lo:hi]
+		for i := range seg {
+			seg[i] = int32(i)
+		}
+		edges := idx.outEdges[lo:hi]
+		sort.Slice(seg, func(i, j int) bool { return edges[seg[i]].Port < edges[seg[j]].Port })
+		for i, s := range seg {
+			idx.portPorts[int(lo)+i] = edges[s].Port
+		}
+	}
+	g.idx.Store(idx)
+	return idx
+}
 
 // AddEdge inserts the directed edge (u, v) with weight w. The edge's port
 // label defaults to the current out-degree of u; AssignPorts can later
@@ -86,14 +175,14 @@ func (g *Graph) AddEdge(u, v NodeID, w Dist) error {
 	case w >= Inf:
 		return fmt.Errorf("graph: weight %d on (%d,%d) exceeds Inf", w, u, v)
 	}
-	for _, e := range g.out[u] {
-		if e.To == v {
-			return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
-		}
+	if _, dup := g.pair[pairKey(u, v)]; dup {
+		return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
 	}
+	g.pair[pairKey(u, v)] = int32(len(g.out[u]))
 	g.out[u] = append(g.out[u], Edge{To: v, Weight: w, Port: PortID(len(g.out[u]))})
 	g.in[v] = append(g.in[v], InEdge{From: u, Weight: w})
 	g.m++
+	g.invalidate()
 	return nil
 }
 
@@ -107,43 +196,61 @@ func (g *Graph) MustAddEdge(u, v NodeID, w Dist) {
 
 // HasEdge reports whether the directed edge (u, v) exists.
 func (g *Graph) HasEdge(u, v NodeID) bool {
-	for _, e := range g.out[u] {
-		if e.To == v {
-			return true
-		}
-	}
-	return false
+	_, ok := g.pair[pairKey(u, v)]
+	return ok
 }
 
-// Out returns the out-edge slice of u. Callers must not modify it.
-func (g *Graph) Out(u NodeID) []Edge { return g.out[u] }
+// Out returns the out-edge slice of u. Callers must not modify it. When
+// the graph is sealed the slice aliases the flat CSR array, so iterating
+// adjacent nodes walks contiguous memory.
+func (g *Graph) Out(u NodeID) []Edge {
+	if idx := g.idx.Load(); idx != nil {
+		return idx.outEdges[idx.outStart[u]:idx.outStart[u+1]]
+	}
+	return g.out[u]
+}
 
 // In returns the in-edge slice of u. Callers must not modify it.
-func (g *Graph) In(u NodeID) []InEdge { return g.in[u] }
+func (g *Graph) In(u NodeID) []InEdge {
+	if idx := g.idx.Load(); idx != nil {
+		return idx.inEdges[idx.inStart[u]:idx.inStart[u+1]]
+	}
+	return g.in[u]
+}
 
 // OutDegree returns the number of out-edges of u.
 func (g *Graph) OutDegree(u NodeID) int { return len(g.out[u]) }
 
 // EdgeByPort returns the out-edge of u labeled with the given port.
 // This is the only lookup a forwarding function may use to move a packet:
-// routing tables store ports, and the simulator resolves them here.
+// routing tables store ports, and the simulator resolves them here. It
+// binary-searches the sealed port order: O(log degree) per hop.
 func (g *Graph) EdgeByPort(u NodeID, port PortID) (Edge, bool) {
-	for _, e := range g.out[u] {
-		if e.Port == port {
-			return e, true
-		}
+	idx := g.index()
+	lo, hi := int(idx.outStart[u]), int(idx.outStart[u+1])
+	ports := idx.portPorts[lo:hi]
+	i := sort.Search(len(ports), func(i int) bool { return ports[i] >= port })
+	if i < len(ports) && ports[i] == port {
+		return idx.outEdges[lo+int(idx.portSlot[lo+i])], true
 	}
 	return Edge{}, false
 }
 
-// PortTo returns the port label of the edge (u, v).
+// PortTo returns the port label of the edge (u, v) in O(1).
 func (g *Graph) PortTo(u, v NodeID) (PortID, bool) {
-	for _, e := range g.out[u] {
-		if e.To == v {
-			return e.Port, true
-		}
+	slot, ok := g.pair[pairKey(u, v)]
+	if !ok {
+		return 0, false
 	}
-	return 0, false
+	return g.out[u][slot].Port, true
+}
+
+// setPort relabels the port of the edge in the given slot of u's
+// out-edge list, invalidating the sealed index. Internal mutation hook
+// for AssignPorts and the graph reader.
+func (g *Graph) setPort(u NodeID, slot int, port PortID) {
+	g.out[u][slot].Port = port
+	g.invalidate()
 }
 
 // AssignPorts relabels every node's out-edge ports adversarially: each
@@ -169,6 +276,7 @@ func (g *Graph) AssignPorts(intn func(int) int) {
 			}
 		}
 	}
+	g.invalidate()
 }
 
 // Clone returns a deep copy of g.
@@ -179,18 +287,49 @@ func (g *Graph) Clone() *Graph {
 		c.out[u] = append([]Edge(nil), g.out[u]...)
 		c.in[u] = append([]InEdge(nil), g.in[u]...)
 	}
+	for k, v := range g.pair {
+		c.pair[k] = v
+	}
 	return c
 }
 
-// Reverse returns the graph with every edge direction flipped. Port labels
-// on the reversed edges are assigned sequentially.
+// Reverse returns the graph with every edge direction flipped. Each
+// reversed edge (v,u) keeps the port label of the original edge (u,v)
+// whenever that label is still free among v's reversed out-edges;
+// colliding labels fall back to the smallest unused non-negative value.
+// Reversing twice therefore preserves most port labels, but callers that
+// need specific labels after a Reverse should call AssignPorts (or check
+// PortTo) rather than assume preservation.
 func (g *Graph) Reverse() *Graph {
 	r := New(g.N())
+	used := make([]map[PortID]bool, g.N())
+	for u := range used {
+		used[u] = make(map[PortID]bool)
+	}
+	var collided []NodeID // heads (in r) that need fallback labels, in edge order
+	var colSlot []int32
 	for u, edges := range g.out {
 		for _, e := range edges {
 			r.MustAddEdge(e.To, NodeID(u), e.Weight)
+			slot := int32(len(r.out[e.To]) - 1)
+			if !used[e.To][e.Port] {
+				used[e.To][e.Port] = true
+				r.out[e.To][slot].Port = e.Port
+			} else {
+				collided = append(collided, e.To)
+				colSlot = append(colSlot, slot)
+			}
 		}
 	}
+	for i, v := range collided {
+		p := PortID(0)
+		for used[v][p] {
+			p++
+		}
+		used[v][p] = true
+		r.out[v][colSlot[i]].Port = p
+	}
+	r.invalidate()
 	return r
 }
 

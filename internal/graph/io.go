@@ -81,8 +81,7 @@ func Read(r io.Reader) (*Graph, error) {
 			return nil, fmt.Errorf("graph: line %d: %w", line, err)
 		}
 		// Restore the stored port label (AddEdge assigned a default).
-		edges := g.out[u]
-		edges[len(edges)-1].Port = port
+		g.setPort(u, len(g.out[u])-1, port)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

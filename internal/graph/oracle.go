@@ -1,0 +1,85 @@
+package graph
+
+// DistanceOracle abstracts how schemes obtain shortest-path distances.
+// Two implementations ship with the package:
+//
+//   - DenseMetric: the eager all-pairs matrix — O(n^2) words, O(1)
+//     queries. Built (in parallel) by AllPairs / AllPairsParallel.
+//   - LazyOracle: forward/reverse single-source rows computed on demand
+//     and held in a bounded, concurrency-safe LRU — O(cache · n) words,
+//     ideal when n^2 distances do not fit in memory.
+//
+// Row-oriented consumers (Init orders, cluster construction, the
+// Theorem 15 reduction) should fetch FromSource/ToSink once per node and
+// index the rows, rather than calling D/R per pair: on the lazy oracle a
+// row fetch is one Dijkstra, while scattered D calls for varying sources
+// may thrash the cache.
+type DistanceOracle interface {
+	// N returns the number of nodes the oracle answers for.
+	N() int
+	// D returns the one-way shortest distance d(u,v), Inf if unreachable.
+	D(u, v NodeID) Dist
+	// R returns the roundtrip distance r(u,v) = d(u,v) + d(v,u), Inf if
+	// either direction is unreachable.
+	R(u, v NodeID) Dist
+	// FromSource returns the row d(u, ·). Callers must not modify it.
+	FromSource(u NodeID) []Dist
+	// ToSink returns the column d(·, v). Callers must not modify it.
+	ToSink(v NodeID) []Dist
+}
+
+var (
+	_ DistanceOracle = (*DenseMetric)(nil)
+	_ DistanceOracle = (*LazyOracle)(nil)
+)
+
+// RFromRows combines the two rows anchored at one node into the
+// roundtrip distance r(anchor, u): Inf if either direction is
+// unreachable. fwd must be FromSource(anchor) and rev ToSink(anchor) (or
+// the transposed pair for a destination anchor — the sum is symmetric).
+func RFromRows(fwd, rev []Dist, u NodeID) Dist {
+	if fwd[u] >= Inf || rev[u] >= Inf {
+		return Inf
+	}
+	return fwd[u] + rev[u]
+}
+
+// RTDiamOf returns the roundtrip diameter max_{u,v} r(u,v) of any oracle
+// using O(n) row fetches (2n Dijkstras on a lazy oracle).
+func RTDiamOf(o DistanceOracle) Dist {
+	if m, ok := o.(*DenseMetric); ok {
+		return m.RTDiam()
+	}
+	n := o.N()
+	var diam Dist
+	for u := 0; u < n; u++ {
+		fwd, rev := o.FromSource(NodeID(u)), o.ToSink(NodeID(u))
+		for v := u + 1; v < n; v++ {
+			r := RFromRows(fwd, rev, NodeID(v))
+			if r >= Inf {
+				return Inf
+			}
+			if r > diam {
+				diam = r
+			}
+		}
+	}
+	return diam
+}
+
+// DiamOf returns the one-way diameter max_{u,v} d(u,v) of any oracle.
+func DiamOf(o DistanceOracle) Dist {
+	if m, ok := o.(*DenseMetric); ok {
+		return m.Diam()
+	}
+	n := o.N()
+	var diam Dist
+	for u := 0; u < n; u++ {
+		for _, d := range o.FromSource(NodeID(u)) {
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}

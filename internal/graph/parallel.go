@@ -17,7 +17,7 @@ func AllPairsParallel(g *Graph, workers int) *Metric {
 		workers = n
 	}
 	if workers <= 1 {
-		return AllPairs(g)
+		return AllPairsSequential(g)
 	}
 	m := &Metric{n: n, d: make([][]Dist, n)}
 	var wg sync.WaitGroup

@@ -1,6 +1,9 @@
 package graph
 
-import "container/heap"
+import (
+	"container/heap"
+	"sync"
+)
 
 // SSSP holds the result of a single-source (or single-sink) shortest path
 // computation.
@@ -98,7 +101,7 @@ func dijkstra(g *Graph, root NodeID, reverse bool) SSSP {
 			continue
 		}
 		if reverse {
-			for _, e := range g.in[u] {
+			for _, e := range g.In(u) {
 				if nd := it.dist + e.Weight; nd < res.Dist[e.From] {
 					res.Dist[e.From] = nd
 					res.Parent[e.From] = u
@@ -106,7 +109,7 @@ func dijkstra(g *Graph, root NodeID, reverse bool) SSSP {
 				}
 			}
 		} else {
-			for _, e := range g.out[u] {
+			for _, e := range g.Out(u) {
 				if nd := it.dist + e.Weight; nd < res.Dist[e.To] {
 					res.Dist[e.To] = nd
 					res.Parent[e.To] = u
@@ -118,17 +121,38 @@ func dijkstra(g *Graph, root NodeID, reverse bool) SSSP {
 	return res
 }
 
-// Metric is the all-pairs distance matrix of a graph together with the
-// derived roundtrip metric r(u,v) = d(u,v) + d(v,u) (§1.1 of the paper).
-type Metric struct {
+// DenseMetric is the eager all-pairs distance matrix of a graph together
+// with the derived roundtrip metric r(u,v) = d(u,v) + d(v,u) (§1.1 of the
+// paper): O(n^2) words, O(1) queries. It is the reference DistanceOracle;
+// see LazyOracle for the bounded-memory alternative.
+type DenseMetric struct {
 	n int
 	d [][]Dist
+
+	// tr is the lazily built transpose (tr[v][u] = d(u,v)), so ToSink is
+	// an O(1) slice return after the first call instead of an O(n) copy
+	// per call. Built once under trOnce; costs one extra n^2 block only
+	// when some consumer actually asks for columns.
+	trOnce sync.Once
+	tr     [][]Dist
 }
 
-// AllPairs runs n forward Dijkstras and returns the distance matrix.
-func AllPairs(g *Graph) *Metric {
+// Metric is the historical name of DenseMetric, kept as an alias for the
+// experiment harness and tests.
+type Metric = DenseMetric
+
+// AllPairs computes the full distance matrix. The per-source Dijkstras
+// are embarrassingly parallel, so it fans out over GOMAXPROCS workers;
+// use AllPairsSequential for a single-threaded build (benchmark baseline).
+func AllPairs(g *Graph) *DenseMetric {
+	return AllPairsParallel(g, 0)
+}
+
+// AllPairsSequential runs the n forward Dijkstras on the calling
+// goroutine. Same output as AllPairs.
+func AllPairsSequential(g *Graph) *DenseMetric {
 	n := g.N()
-	m := &Metric{n: n, d: make([][]Dist, n)}
+	m := &DenseMetric{n: n, d: make([][]Dist, n)}
 	for u := 0; u < n; u++ {
 		m.d[u] = Dijkstra(g, NodeID(u)).Dist
 	}
@@ -136,15 +160,15 @@ func AllPairs(g *Graph) *Metric {
 }
 
 // N returns the number of nodes the metric was computed over.
-func (m *Metric) N() int { return m.n }
+func (m *DenseMetric) N() int { return m.n }
 
 // D returns the one-way shortest distance d(u,v).
-func (m *Metric) D(u, v NodeID) Dist { return m.d[u][v] }
+func (m *DenseMetric) D(u, v NodeID) Dist { return m.d[u][v] }
 
 // R returns the roundtrip distance r(u,v) = d(u,v) + d(v,u). R is a
 // genuine metric on strongly connected digraphs: symmetric, zero iff
 // u == v, and satisfying the triangle inequality.
-func (m *Metric) R(u, v NodeID) Dist {
+func (m *DenseMetric) R(u, v NodeID) Dist {
 	duv, dvu := m.d[u][v], m.d[v][u]
 	if duv >= Inf || dvu >= Inf {
 		return Inf
@@ -152,8 +176,32 @@ func (m *Metric) R(u, v NodeID) Dist {
 	return duv + dvu
 }
 
+// FromSource implements DistanceOracle: the row d(u, ·). The returned
+// slice is owned by the metric and must not be modified.
+func (m *DenseMetric) FromSource(u NodeID) []Dist { return m.d[u] }
+
+// ToSink implements DistanceOracle: the column d(·, v). The first call
+// builds the full transpose once (concurrency-safe); every call returns
+// a cached slice that must not be modified.
+func (m *DenseMetric) ToSink(v NodeID) []Dist {
+	m.trOnce.Do(func() {
+		tr := make([][]Dist, m.n)
+		for u := 0; u < m.n; u++ {
+			tr[u] = make([]Dist, m.n)
+		}
+		for u := 0; u < m.n; u++ {
+			row := m.d[u]
+			for w := 0; w < m.n; w++ {
+				tr[w][u] = row[w]
+			}
+		}
+		m.tr = tr
+	})
+	return m.tr[v]
+}
+
 // RTDiam returns the roundtrip diameter max_{u,v} r(u,v).
-func (m *Metric) RTDiam() Dist {
+func (m *DenseMetric) RTDiam() Dist {
 	var diam Dist
 	for u := 0; u < m.n; u++ {
 		for v := u + 1; v < m.n; v++ {
@@ -166,7 +214,7 @@ func (m *Metric) RTDiam() Dist {
 }
 
 // Diam returns the one-way diameter max_{u,v} d(u,v).
-func (m *Metric) Diam() Dist {
+func (m *DenseMetric) Diam() Dist {
 	var diam Dist
 	for u := range m.d {
 		for _, d := range m.d[u] {

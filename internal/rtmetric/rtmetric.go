@@ -15,22 +15,26 @@ import (
 	"rtroute/internal/graph"
 )
 
-// Space bundles a graph, its all-pairs metric, and (lazily computed)
-// Init_v total orders. The tie-breaking IDs default to the topological
-// node indices; in TINN deployments callers may supply the node-name
+// Space bundles a graph, a distance oracle, and (lazily computed) Init_v
+// total orders. The tie-breaking IDs default to the topological node
+// indices; in TINN deployments callers may supply the node-name
 // permutation instead (the paper's IDu, §2).
+//
+// Building Init_v touches only the two distance rows anchored at v
+// (d(v,·) and d(·,v)), so a Space over a lazy oracle costs two Dijkstras
+// per ordered node instead of an eager all-pairs pass.
 type Space struct {
 	G   *graph.Graph
-	M   *graph.Metric
+	M   graph.DistanceOracle
 	ids []int32
 
 	initOrders [][]graph.NodeID // lazily filled per source node
 	ranks      [][]int32        // ranks[v][u] = position of u in Init_v
 }
 
-// New creates a Space over g with its all-pairs metric m. If ids is nil
-// the topological indices are used for tie-breaking.
-func New(g *graph.Graph, m *graph.Metric, ids []int32) *Space {
+// New creates a Space over g with a distance oracle m. If ids is nil the
+// topological indices are used for tie-breaking.
+func New(g *graph.Graph, m graph.DistanceOracle, ids []int32) *Space {
 	if m.N() != g.N() {
 		panic(fmt.Sprintf("rtmetric: metric over %d nodes, graph has %d", m.N(), g.N()))
 	}
@@ -66,24 +70,47 @@ func (s *Space) Less(v, a, b graph.NodeID) bool {
 	return s.ids[a] < s.ids[b]
 }
 
+// orderFor materializes Init_v and its rank array. It fetches the two
+// distance rows anchored at v once and sorts on them directly, so the
+// comparator never goes back to the oracle: O(n log n) with exactly one
+// FromSource and one ToSink fetch regardless of oracle kind.
+func (s *Space) orderFor(v graph.NodeID) ([]graph.NodeID, []int32) {
+	n := s.G.N()
+	fwd := s.M.FromSource(v) // d(v, u)
+	rev := s.M.ToSink(v)     // d(u, v)
+	key := make([]graph.Dist, n)
+	for u := 0; u < n; u++ {
+		key[u] = graph.RFromRows(fwd, rev, graph.NodeID(u)) // r(v, u)
+	}
+	ord := make([]graph.NodeID, n)
+	for i := range ord {
+		ord[i] = graph.NodeID(i)
+	}
+	sort.Slice(ord, func(i, j int) bool {
+		a, b := ord[i], ord[j]
+		if key[a] != key[b] {
+			return key[a] < key[b]
+		}
+		if rev[a] != rev[b] {
+			return rev[a] < rev[b]
+		}
+		return s.ids[a] < s.ids[b]
+	})
+	rank := make([]int32, n)
+	for i, u := range ord {
+		rank[u] = int32(i)
+	}
+	return ord, rank
+}
+
 // Init returns the total order Init_v = v ≺_v u1 ≺_v u2 ≺_v ... over all
 // n nodes. The returned slice is cached and must not be modified.
 func (s *Space) Init(v graph.NodeID) []graph.NodeID {
 	if ord := s.initOrders[v]; ord != nil {
 		return ord
 	}
-	n := s.G.N()
-	ord := make([]graph.NodeID, n)
-	for i := range ord {
-		ord[i] = graph.NodeID(i)
-	}
-	sort.Slice(ord, func(i, j int) bool { return s.Less(v, ord[i], ord[j]) })
+	ord, rank := s.orderFor(v)
 	s.initOrders[v] = ord
-
-	rank := make([]int32, n)
-	for i, u := range ord {
-		rank[u] = int32(i)
-	}
 	s.ranks[v] = rank
 	return ord
 }
@@ -114,10 +141,12 @@ func (s *Space) Contains(v graph.NodeID, size int, u graph.NodeID) bool {
 }
 
 // Ball returns Nhat_m(v) = {w : r(v,w) <= m}, the radius ball of §4.
+// Row-oriented: one FromSource plus one ToSink fetch.
 func (s *Space) Ball(v graph.NodeID, m graph.Dist) []graph.NodeID {
+	fwd, rev := s.M.FromSource(v), s.M.ToSink(v)
 	var ball []graph.NodeID
 	for u := 0; u < s.G.N(); u++ {
-		if s.M.R(v, graph.NodeID(u)) <= m {
+		if graph.RFromRows(fwd, rev, graph.NodeID(u)) <= m {
 			ball = append(ball, graph.NodeID(u))
 		}
 	}
@@ -143,15 +172,7 @@ func (s *Space) Precompute(workers int) {
 		go func() {
 			defer wg.Done()
 			for v := range src {
-				ord := make([]graph.NodeID, n)
-				for i := range ord {
-					ord[i] = graph.NodeID(i)
-				}
-				sort.Slice(ord, func(i, j int) bool { return s.Less(graph.NodeID(v), ord[i], ord[j]) })
-				rank := make([]int32, n)
-				for i, u := range ord {
-					rank[u] = int32(i)
-				}
+				ord, rank := s.orderFor(graph.NodeID(v))
 				// Each worker writes only its own v's slots: disjoint.
 				s.initOrders[v] = ord
 				s.ranks[v] = rank

@@ -59,8 +59,8 @@ type HopScheme struct {
 }
 
 // NewHop builds the hop substrate with the given cover parameter k, scale
-// base, and cover variant.
-func NewHop(g *graph.Graph, m *graph.Metric, k int, base float64, variant cover.Variant) (*HopScheme, error) {
+// base, and cover variant. m may be any distance oracle.
+func NewHop(g *graph.Graph, m graph.DistanceOracle, k int, base float64, variant cover.Variant) (*HopScheme, error) {
 	h, err := cover.BuildHierarchy(g, m, k, base, variant)
 	if err != nil {
 		return nil, err

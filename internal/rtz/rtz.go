@@ -109,8 +109,10 @@ type Scheme struct {
 	g *graph.Graph
 }
 
-// New builds the scheme over g with metric m.
-func New(g *graph.Graph, m *graph.Metric, rng *rand.Rand, cfg Config) (*Scheme, error) {
+// New builds the scheme over g with distance oracle m. Construction is
+// row-oriented: every oracle access is anchored at one node at a time, so
+// a bounded lazy oracle serves it without materializing n^2 distances.
+func New(g *graph.Graph, m graph.DistanceOracle, rng *rand.Rand, cfg Config) (*Scheme, error) {
 	n := g.N()
 	if n < 2 {
 		return nil, fmt.Errorf("rtz: need at least 2 nodes, got %d", n)
@@ -160,12 +162,16 @@ func New(g *graph.Graph, m *graph.Metric, rng *rand.Rand, cfg Config) (*Scheme, 
 		}
 	}
 
-	// Nearest centers and labels.
+	// Nearest centers and labels. r(v, w) = d(v,w) + d(w,v) comes from the
+	// two rows anchored at v, fetched once per node.
 	centerRadius := make([]graph.Dist, n) // r(v, A)
 	for v := 0; v < n; v++ {
+		fwd := m.FromSource(graph.NodeID(v)) // d(v, ·)
+		rev := m.ToSink(graph.NodeID(v))     // d(·, v)
 		best, bestIdx := graph.Inf, -1
 		for ci, w := range centers {
-			if r := m.R(graph.NodeID(v), w); r < best || (r == best && bestIdx >= 0 && w < centers[bestIdx]) {
+			r := graph.RFromRows(fwd, rev, w)
+			if r < best || (r == best && bestIdx >= 0 && w < centers[bestIdx]) {
 				best, bestIdx = r, ci
 			}
 		}
@@ -181,20 +187,41 @@ func New(g *graph.Graph, m *graph.Metric, rng *rand.Rand, cfg Config) (*Scheme, 
 
 	// Cluster (direct) entries: for each destination y, every x with
 	// r(x,y) < r(y,A) stores the first hop of a shortest x->y path.
-	// Next hops come from one reverse Dijkstra per destination with a
-	// nonempty cluster.
+	// Each oracle shape gets its cheapest plan: on the dense matrix,
+	// membership comes from resident rows and the reverse Dijkstra (for
+	// the shortest-path parents) runs only for destinations with a
+	// non-empty cluster; on any other oracle one reverse Dijkstra per
+	// destination supplies both the d(·,y) distances and the parents, so
+	// a lazy build pays exactly one reverse SSSP per destination.
+	dense, isDense := m.(*graph.DenseMetric)
 	for y := 0; y < n; y++ {
 		radius := centerRadius[y]
+		yid := graph.NodeID(y)
+		var (
+			toY     []graph.Dist // d(·, y)
+			rev     graph.SSSP
+			haveRev bool
+		)
+		if isDense {
+			toY = dense.ToSink(yid)
+		} else {
+			rev = graph.DijkstraRev(g, yid)
+			toY = rev.Dist
+			haveRev = true
+		}
+		fromY := m.FromSource(yid) // d(y, ·)
 		var members []graph.NodeID
 		for x := 0; x < n; x++ {
-			if x != y && m.R(graph.NodeID(x), graph.NodeID(y)) < radius {
+			if x != y && graph.RFromRows(fromY, toY, graph.NodeID(x)) < radius {
 				members = append(members, graph.NodeID(x))
 			}
 		}
 		if len(members) == 0 {
 			continue
 		}
-		rev := graph.DijkstraRev(g, graph.NodeID(y))
+		if !haveRev {
+			rev = graph.DijkstraRev(g, yid)
+		}
 		for _, x := range members {
 			next := rev.Parent[x]
 			port, ok := g.PortTo(x, next)

@@ -50,8 +50,19 @@ type (
 	NodeID = graph.NodeID
 	// Graph is a directed weighted graph with fixed-port edge labels.
 	Graph = graph.Graph
-	// Metric is an all-pairs distance matrix with roundtrip helpers.
+	// Oracle answers shortest-path distance queries; schemes are built
+	// against this interface so the dense matrix is one choice, not a
+	// requirement.
+	Oracle = graph.DistanceOracle
+	// Metric is the eager all-pairs distance matrix with roundtrip
+	// helpers (alias of DenseMetric).
 	Metric = graph.Metric
+	// DenseMetric is the O(n^2)-word all-pairs oracle.
+	DenseMetric = graph.DenseMetric
+	// LazyOracle computes distance rows on demand behind a bounded LRU,
+	// so schemes can be built on graphs whose dense matrix would not fit
+	// in memory.
+	LazyOracle = graph.LazyOracle
 	// Naming maps topological indices to TINN names and back.
 	Naming = names.Permutation
 	// Scheme is a built TINN roundtrip routing scheme.
@@ -107,11 +118,16 @@ func NewDirectory(fullNames []string, n int, rng *rand.Rand) (*Directory, error)
 	return names.NewDirectory(fullNames, n, rng)
 }
 
-// AllPairs computes the distance metric of g.
+// AllPairs computes the dense distance metric of g (parallel over
+// GOMAXPROCS workers).
 func AllPairs(g *Graph) *Metric { return graph.AllPairs(g) }
 
 // AllPairsParallel computes the metric with a worker pool (0 = GOMAXPROCS).
 func AllPairsParallel(g *Graph, workers int) *Metric { return graph.AllPairsParallel(g, workers) }
+
+// NewLazyOracle creates a bounded lazy distance oracle over g holding at
+// most cacheRows distance rows (<= 0 selects the default budget).
+func NewLazyOracle(g *Graph, cacheRows int) *LazyOracle { return graph.NewLazyOracle(g, cacheRows) }
 
 // ReadGraph parses a graph in the textual exchange format of
 // (*Graph).WriteTo.
@@ -120,17 +136,47 @@ func ReadGraph(r io.Reader) (*Graph, error) { return graph.Read(r) }
 // StronglyConnected reports whether g is strongly connected.
 func StronglyConnected(g *Graph) bool { return graph.StronglyConnected(g) }
 
-// System bundles a network, its metric and its naming, and builds routing
-// schemes over them.
+// System bundles a network, its distance oracle and its naming, and
+// builds routing schemes over them.
 type System struct {
 	Graph  *Graph
-	Metric *Metric
+	Metric Oracle
 	Naming *Naming
 }
 
-// NewSystem validates the network and computes its metric. The naming
-// must cover exactly the graph's nodes; nil selects the identity naming.
+// MetricKind selects the distance oracle a System is built on.
+type MetricKind string
+
+const (
+	// MetricDense materializes the full n×n matrix (parallel Dijkstras):
+	// O(1) queries, O(n^2) words.
+	MetricDense MetricKind = "dense"
+	// MetricLazy computes distance rows on demand behind a bounded LRU:
+	// schemes build without ever allocating n^2 distances.
+	MetricLazy MetricKind = "lazy"
+)
+
+// SystemConfig tunes NewSystemWith.
+type SystemConfig struct {
+	// Metric selects the oracle implementation (default MetricDense).
+	Metric MetricKind
+	// LazyCacheRows bounds the lazy oracle's row cache (<= 0 selects the
+	// package default). Ignored for MetricDense.
+	LazyCacheRows int
+}
+
+// NewSystem validates the network and computes its dense metric. The
+// naming must cover exactly the graph's nodes; nil selects the identity
+// naming. Use NewSystemWith to select the lazy oracle instead.
 func NewSystem(g *Graph, naming *Naming) (*System, error) {
+	return NewSystemWith(g, naming, SystemConfig{})
+}
+
+// NewSystemWith validates the network and attaches the configured
+// distance oracle. With MetricLazy the system never materializes the n×n
+// distance matrix: scheme construction pulls rows through the bounded
+// cache on demand.
+func NewSystemWith(g *Graph, naming *Naming, cfg SystemConfig) (*System, error) {
 	if g.N() < 2 {
 		return nil, fmt.Errorf("rtroute: need at least 2 nodes, got %d", g.N())
 	}
@@ -143,7 +189,16 @@ func NewSystem(g *Graph, naming *Naming) (*System, error) {
 	if naming.N() != g.N() {
 		return nil, fmt.Errorf("rtroute: naming covers %d nodes, graph has %d", naming.N(), g.N())
 	}
-	return &System{Graph: g, Metric: graph.AllPairs(g), Naming: naming}, nil
+	var m Oracle
+	switch cfg.Metric {
+	case MetricDense, "":
+		m = graph.AllPairs(g)
+	case MetricLazy:
+		m = graph.NewLazyOracle(g, cfg.LazyCacheRows)
+	default:
+		return nil, fmt.Errorf("rtroute: unknown metric kind %q (want %q or %q)", cfg.Metric, MetricDense, MetricLazy)
+	}
+	return &System{Graph: g, Metric: m, Naming: naming}, nil
 }
 
 // R returns the roundtrip distance between two NAMES.
