@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify race short large bench fmt vet lint ci
+.PHONY: all build test verify race short large bench fmt vet lint ci traffic traffic-large
 
 all: verify
 
@@ -23,6 +23,18 @@ short:
 large:
 	RTROUTE_LARGE=1 $(GO) test -run TestLazyStretchSixLargeScale -v -timeout 3600s .
 
+# Smoke-sized concurrent serving run under the race detector: exercises
+# the compiled-plane hot path end-to-end on every CI push (E12).
+traffic:
+	$(GO) run -race ./cmd/rtbench -exp traffic -n 96 -packets 20000 -workers 4 -workload zipf -seed 1
+	$(GO) run -race ./cmd/rtbench -exp traffic -n 96 -packets 10000 -workers 4 -workload hotspot -scheme rtz -seed 1
+
+# Million-packet serving acceptance: 1,000-node StretchSix over the lazy
+# oracle, GOMAXPROCS workers, stretch certified against sequential
+# replays (see traffic_test.go).
+traffic-large:
+	RTROUTE_LARGE=1 $(GO) test -run TestTrafficLargeScale -v -timeout 3600s .
+
 bench:
 	$(GO) test -run XXX -bench . -benchmem ./...
 
@@ -34,4 +46,4 @@ vet:
 
 lint: fmt vet
 
-ci: lint build race
+ci: lint build race traffic

@@ -5,6 +5,7 @@
 package rtroute
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -13,6 +14,7 @@ import (
 	"rtroute/internal/graph"
 	"rtroute/internal/rtmetric"
 	"rtroute/internal/rtz"
+	"rtroute/internal/traffic"
 	"rtroute/internal/tree"
 )
 
@@ -424,4 +426,41 @@ func BenchmarkEdgeByPort(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkTrafficThroughput is scaling study S3: serving rate of one
+// shared compiled StretchSix plane as the worker count grows. Each
+// iteration is ONE routed roundtrip; packets/s is reported as a custom
+// metric. On a single-core host the workers=2,4 rows measure scheduling
+// overhead rather than speedup — run on a multicore box for the scaling
+// curve.
+func BenchmarkTrafficThroughput(b *testing.B) {
+	sys := benchSystem(b, 1, 256)
+	s6, err := sys.BuildStretchSix(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Compile once, outside every timed region; traffic.Run directly
+	// (not ServeTraffic) so the nil Oracle skips the stretch post-pass
+	// and the measurement is pure serving throughput.
+	pl, err := traffic.Compile(s6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ResetTimer()
+			res, err := traffic.Run(pl, traffic.Config{
+				Workers:  workers,
+				Packets:  int64(b.N),
+				Seed:     1,
+				Workload: traffic.Spec{Kind: traffic.Zipf},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.PacketsPerSec(), "packets/s")
+			b.ReportMetric(res.HopsPerSec(), "hops/s")
+		})
+	}
 }

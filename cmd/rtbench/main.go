@@ -4,10 +4,15 @@
 //
 //	rtbench -exp fig1  -n 64  -seed 1 -k 2,3   # comparison table (E1)
 //	rtbench -exp fig2  -n 36  -seed 1          # block distribution (E2, Fig. 2)
+//	rtbench -exp fig5  -n 64  -seed 1          # prefix-matching dictionary walk (E5)
+//	rtbench -exp fig10 -n 64  -seed 1          # center-relayed tree route (E7)
 //	rtbench -exp space -seed 1                 # table-size sweep (E9)
 //	rtbench -exp stretch -n 48 -seed 1         # per-scheme stretch distributions (E3/E4/E6)
+//	rtbench -exp profile -n 64 -seed 1         # stretch by roundtrip-distance quantile
 //	rtbench -exp lower -n 25 -seed 1           # Theorem 15 reduction (E8)
 //	rtbench -exp ablation -n 36 -seed 1        # cover-variant ablation (E10)
+//	rtbench -exp traffic -n 256 -packets 200000 -workload zipf -workers 4
+//	                                           # concurrent serving engine (E12/S3)
 package main
 
 import (
@@ -23,13 +28,18 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "fig1", "experiment: fig1|fig2|space|stretch|lower|ablation")
+		exp    = flag.String("exp", "fig1", "experiment: fig1|fig2|fig5|fig10|space|stretch|profile|lower|ablation|traffic")
 		n      = flag.Int("n", 64, "number of nodes")
 		seed   = flag.Int64("seed", 1, "random seed")
 		ks     = flag.String("k", "2,3", "comma-separated tradeoff parameters")
 		metric = flag.String("metric", "dense", "distance oracle: dense|lazy")
 		cache  = flag.Int("lazy-cache", 0, "lazy oracle row-cache budget (0 = default)")
 	)
+	flag.IntVar(&trafficWorkers, "workers", 0, "traffic: serving goroutines (0 = GOMAXPROCS)")
+	flag.StringVar(&trafficWorkload, "workload", "zipf", "traffic: pair distribution: uniform|zipf|hotspot|rpc")
+	flag.Float64Var(&trafficZipf, "zipf", 0.9, "traffic: zipf skew theta in [0,1)")
+	flag.Int64Var(&trafficPackets, "packets", 200000, "traffic: roundtrips to serve")
+	flag.StringVar(&trafficScheme, "scheme", "stretch6", "traffic: plane to serve: stretch6|exstretch|poly|rtz|hop")
 	flag.Parse()
 	metricKind = rtroute.MetricKind(*metric)
 	lazyCacheRows = *cache
@@ -50,6 +60,13 @@ func main() {
 var (
 	metricKind    = rtroute.MetricDense
 	lazyCacheRows int
+
+	// -exp traffic knobs.
+	trafficWorkers  int
+	trafficWorkload string
+	trafficZipf     float64
+	trafficPackets  int64
+	trafficScheme   string
 )
 
 func newSystem(g *rtroute.Graph, naming *rtroute.Naming) (*rtroute.System, error) {
@@ -89,9 +106,55 @@ func run(exp string, n int, seed int64, ks []int) error {
 		return runLower(n, seed)
 	case "ablation":
 		return runAblation(n, seed)
+	case "traffic":
+		return runTraffic(n, seed)
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
+}
+
+func runTraffic(n int, seed int64) error {
+	fmt.Printf("# E12/S3 — concurrent routed-traffic serving (n=%d, seed=%d, scheme=%s, workload=%s, metric=%s)\n\n",
+		n, seed, trafficScheme, trafficWorkload, metricKind)
+	rng := rand.New(rand.NewSource(seed))
+	g := rtroute.RandomSC(n, 4*n, 8, rng)
+	sys, err := newSystem(g, rtroute.RandomNaming(n, rng))
+	if err != nil {
+		return err
+	}
+	var plane rtroute.ForwardingPlane
+	switch trafficScheme {
+	case "stretch6":
+		plane, err = sys.BuildStretchSix(seed)
+	case "exstretch":
+		plane, err = sys.BuildExStretch(2, seed)
+	case "poly":
+		plane, err = sys.BuildPolynomial(2)
+	case "rtz":
+		plane, err = sys.BuildRTZPlane(seed)
+	case "hop":
+		plane, err = sys.BuildHopPlane(2)
+	default:
+		return fmt.Errorf("unknown -scheme %q (want stretch6|exstretch|poly|rtz|hop)", trafficScheme)
+	}
+	if err != nil {
+		return err
+	}
+	res, err := sys.ServeTraffic(plane, rtroute.TrafficConfig{
+		Workers: trafficWorkers,
+		Packets: trafficPackets,
+		Seed:    seed,
+		Workload: rtroute.TrafficWorkload{
+			Kind:      rtroute.WorkloadKind(trafficWorkload),
+			ZipfTheta: trafficZipf,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rtroute.FormatTraffic(res))
+	fmt.Println("\nstretch is measured over true roundtrip distances; skewed workloads reuse hot oracle rows")
+	return nil
 }
 
 func runProfile(n int, seed int64) error {

@@ -48,7 +48,14 @@ func (m Mode) String() string {
 // Scheme is the common interface of the three TINN roundtrip routing
 // schemes, written against names only: a caller routes to a destination
 // NAME, never to a topological index.
+//
+// Every Scheme is a sim.Plane: once construction returns, its tables are
+// frozen and Forward/NewHeader/BeginReturn mutate only the packet header,
+// so one built scheme may serve any number of concurrent goroutines —
+// the contract the traffic engine's sharded workers rely on, certified
+// by the concurrent-forwarding race tests.
 type Scheme interface {
+	sim.Plane
 	// SchemeName identifies the algorithm for reports.
 	SchemeName() string
 	// Roundtrip routes a packet from the node named srcName to the node

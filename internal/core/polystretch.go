@@ -332,27 +332,35 @@ func (s *PolynomialStretch) Forward(at graph.NodeID, header sim.Header) (graph.P
 	return port, false, nil
 }
 
+// NewHeader implements sim.Plane.
+func (s *PolynomialStretch) NewHeader(srcName, dstName int32) (sim.Header, error) {
+	if dstName < 0 || int(dstName) >= s.perm.N() {
+		return nil, fmt.Errorf("core: destination name %d outside [0,%d)", dstName, s.perm.N())
+	}
+	return &polyHeader{Mode: ModeNewPacket, DestName: dstName}, nil
+}
+
+// BeginReturn implements sim.Plane.
+func (s *PolynomialStretch) BeginReturn(h sim.Header) error {
+	hh, ok := h.(*polyHeader)
+	if !ok {
+		return fmt.Errorf("core: polystretch got %T header", h)
+	}
+	hh.Mode = ModeReturnPacket
+	return nil
+}
+
+// NodeOf implements sim.Plane.
+func (s *PolynomialStretch) NodeOf(name int32) graph.NodeID {
+	return graph.NodeID(s.perm.Node(name))
+}
+
+// Graph implements sim.Plane.
+func (s *PolynomialStretch) Graph() *graph.Graph { return s.g }
+
 // Roundtrip implements Scheme.
 func (s *PolynomialStretch) Roundtrip(srcName, dstName int32) (*sim.RoundtripTrace, error) {
-	src := graph.NodeID(s.perm.Node(srcName))
-	dst := graph.NodeID(s.perm.Node(dstName))
-	h := &polyHeader{Mode: ModeNewPacket, DestName: dstName}
-	out, err := sim.Run(s.g, s, src, h, 0)
-	if err != nil {
-		return nil, fmt.Errorf("core: outbound %d->%d: %w", srcName, dstName, err)
-	}
-	if last := out.Path[len(out.Path)-1]; last != dst {
-		return nil, fmt.Errorf("core: outbound %d->%d delivered at wrong node %d", srcName, dstName, last)
-	}
-	h.Mode = ModeReturnPacket
-	back, err := sim.Run(s.g, s, dst, h, 0)
-	if err != nil {
-		return nil, fmt.Errorf("core: return %d->%d: %w", dstName, srcName, err)
-	}
-	if last := back.Path[len(back.Path)-1]; last != src {
-		return nil, fmt.Errorf("core: return %d->%d delivered at wrong node %d", dstName, srcName, last)
-	}
-	return &sim.RoundtripTrace{Out: out, Back: back}, nil
+	return sim.Roundtrip(s, srcName, dstName, 0)
 }
 
 // K returns the tradeoff parameter.

@@ -295,29 +295,38 @@ func (s *StretchSix) Forward(at graph.NodeID, header sim.Header) (graph.PortID, 
 	return port, false, nil
 }
 
+// NewHeader implements sim.Plane: a fresh Fig. 3 header addressed to
+// dstName (the source name is learned at the first Forward, as the model
+// requires).
+func (s *StretchSix) NewHeader(srcName, dstName int32) (sim.Header, error) {
+	if dstName < 0 || int(dstName) >= s.perm.N() {
+		return nil, fmt.Errorf("core: destination name %d outside [0,%d)", dstName, s.perm.N())
+	}
+	return &s6Header{Mode: ModeNewPacket, DestName: dstName, DictName: -1}, nil
+}
+
+// BeginReturn implements sim.Plane: flip the delivered outbound header
+// into the acknowledgment leg.
+func (s *StretchSix) BeginReturn(h sim.Header) error {
+	hh, ok := h.(*s6Header)
+	if !ok {
+		return fmt.Errorf("core: stretch-6 got %T header", h)
+	}
+	hh.Mode = ModeReturnPacket
+	return nil
+}
+
+// NodeOf implements sim.Plane.
+func (s *StretchSix) NodeOf(name int32) graph.NodeID { return graph.NodeID(s.perm.Node(name)) }
+
+// Graph implements sim.Plane.
+func (s *StretchSix) Graph() *graph.Graph { return s.g }
+
 // Roundtrip implements Scheme: it routes srcName -> dstName and the
 // acknowledgment back, as two sim runs sharing one header (the reply
 // reuses the topology learned on the way out, §1.1.1).
 func (s *StretchSix) Roundtrip(srcName, dstName int32) (*sim.RoundtripTrace, error) {
-	src := graph.NodeID(s.perm.Node(srcName))
-	dst := graph.NodeID(s.perm.Node(dstName))
-	h := &s6Header{Mode: ModeNewPacket, DestName: dstName, DictName: -1}
-	out, err := sim.Run(s.g, s, src, h, 0)
-	if err != nil {
-		return nil, fmt.Errorf("core: outbound %d->%d: %w", srcName, dstName, err)
-	}
-	if last := out.Path[len(out.Path)-1]; last != dst {
-		return nil, fmt.Errorf("core: outbound %d->%d delivered at wrong node %d", srcName, dstName, last)
-	}
-	h.Mode = ModeReturnPacket
-	back, err := sim.Run(s.g, s, dst, h, 0)
-	if err != nil {
-		return nil, fmt.Errorf("core: return %d->%d: %w", dstName, srcName, err)
-	}
-	if last := back.Path[len(back.Path)-1]; last != src {
-		return nil, fmt.Errorf("core: return %d->%d delivered at wrong node %d", dstName, srcName, last)
-	}
-	return &sim.RoundtripTrace{Out: out, Back: back}, nil
+	return sim.Roundtrip(s, srcName, dstName, 0)
 }
 
 // MaxTableWords implements Scheme.

@@ -83,7 +83,7 @@ func MeasureRoundtrips(m graph.DistanceOracle, perm *names.Permutation, rt Round
 	if len(stretches) > 0 {
 		stats.Mean = sum / float64(len(stretches))
 		sort.Float64s(stretches)
-		stats.P99 = stretches[(len(stretches)*99)/100]
+		stats.P99 = Percentile(stretches, 99)
 	}
 	return stats, nil
 }

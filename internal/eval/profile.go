@@ -44,16 +44,10 @@ func ProfileByDistance(m graph.DistanceOracle, perm *names.Permutation, rt Round
 	}
 	sort.Slice(samples, func(i, j int) bool { return samples[i].r < samples[j].r })
 
-	if buckets > len(samples) {
-		buckets = len(samples)
-	}
-	out := make([]ProfileBucket, 0, buckets)
-	for b := 0; b < buckets; b++ {
-		lo := b * len(samples) / buckets
-		hi := (b + 1) * len(samples) / buckets
-		if lo >= hi {
-			continue
-		}
+	cuts := QuantileCuts(len(samples), buckets)
+	out := make([]ProfileBucket, 0, len(cuts))
+	for _, c := range cuts {
+		lo, hi := c[0], c[1]
 		bucket := ProfileBucket{RMin: samples[lo].r, RMax: samples[hi-1].r, Pairs: hi - lo}
 		var sum float64
 		for _, s := range samples[lo:hi] {

@@ -1,0 +1,165 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Percentile returns the q-th percentile (0 <= q <= 100) of an ascending
+// sorted slice using the nearest-rank definition: the smallest element
+// such that at least q% of the samples are <= it. This is the single
+// quantile implementation shared by the stretch tables, the distance
+// profiles and the traffic engine's serving stats.
+func Percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(float64(len(sorted))*q/100)) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Quantiles aggregates one sample set's distribution summary: the
+// p50/p95/p99/max ladder every serving report quotes.
+type Quantiles struct {
+	N    int
+	Mean float64
+	P50  float64
+	P95  float64
+	P99  float64
+	Max  float64
+}
+
+// QuantilesOf summarizes the samples. The input is sorted in place.
+func QuantilesOf(xs []float64) Quantiles {
+	var q Quantiles
+	q.N = len(xs)
+	if q.N == 0 {
+		return q
+	}
+	sort.Float64s(xs)
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	q.Mean = sum / float64(q.N)
+	q.P50 = Percentile(xs, 50)
+	q.P95 = Percentile(xs, 95)
+	q.P99 = Percentile(xs, 99)
+	q.Max = xs[q.N-1]
+	return q
+}
+
+// QuantileCuts splits n ascending-sorted samples into k near-equal-count
+// buckets, returning [lo, hi) index ranges. Empty ranges are dropped, so
+// the result may hold fewer than k buckets when n < k.
+func QuantileCuts(n, k int) [][2]int {
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	cuts := make([][2]int, 0, k)
+	for b := 0; b < k; b++ {
+		lo := b * n / k
+		hi := (b + 1) * n / k
+		if lo < hi {
+			cuts = append(cuts, [2]int{lo, hi})
+		}
+	}
+	return cuts
+}
+
+// Hist is a compact power-of-two histogram over non-negative integers:
+// bucket 0 counts the value 0 and bucket i >= 1 counts values in
+// [2^(i-1), 2^i). Merging is bucket-wise addition, so per-worker shards
+// fold into an aggregate without locks or atomics.
+type Hist struct {
+	Buckets [34]int64
+	N       int64
+	Sum     int64
+	MaxV    int64
+}
+
+// Add records one value. Negative values are clamped to 0; values at or
+// above 2^33 land in the top bucket (Sum/MaxV stay exact).
+func (h *Hist) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= len(h.Buckets) {
+		b = len(h.Buckets) - 1
+	}
+	h.Buckets[b]++
+	h.N++
+	h.Sum += int64(v)
+	if int64(v) > h.MaxV {
+		h.MaxV = int64(v)
+	}
+}
+
+// Merge folds another histogram into this one.
+func (h *Hist) Merge(o *Hist) {
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+	h.N += o.N
+	h.Sum += o.Sum
+	if o.MaxV > h.MaxV {
+		h.MaxV = o.MaxV
+	}
+}
+
+// Mean returns the average recorded value.
+func (h *Hist) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N)
+}
+
+// bucketBounds returns the [lo, hi] value range of bucket i.
+func bucketBounds(i int) (int64, int64) {
+	if i == 0 {
+		return 0, 0
+	}
+	return int64(1) << (i - 1), int64(1)<<i - 1
+}
+
+// Format renders the non-empty buckets as an aligned table with share
+// bars, labeling the value column with unit.
+func (h *Hist) Format(unit string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %12s %7s\n", unit, "count", "share")
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		lo, hi := bucketBounds(i)
+		share := float64(c) / float64(h.N)
+		bar := strings.Repeat("#", int(share*40+0.5))
+		if lo == hi {
+			fmt.Fprintf(&b, "%-16d %12d %6.1f%% %s\n", lo, c, 100*share, bar)
+		} else {
+			fmt.Fprintf(&b, "%6d-%-9d %12d %6.1f%% %s\n", lo, hi, c, 100*share, bar)
+		}
+	}
+	fmt.Fprintf(&b, "mean %.2f  max %d  n %d\n", h.Mean(), h.MaxV, h.N)
+	return b.String()
+}

@@ -1,0 +1,86 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPercentileNearestRank(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {10, 1}, {50, 5}, {90, 9}, {99, 10}, {100, 10},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.q); got != c.want {
+			t.Errorf("Percentile(q=%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(empty) = %v, want 0", got)
+	}
+}
+
+func TestQuantilesOf(t *testing.T) {
+	// Shuffled 1..100: every percentile is exact.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	rand.New(rand.NewSource(1)).Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	q := QuantilesOf(xs)
+	if q.N != 100 || q.P50 != 50 || q.P95 != 95 || q.P99 != 99 || q.Max != 100 {
+		t.Fatalf("quantiles %+v wrong", q)
+	}
+	if q.Mean != 50.5 {
+		t.Fatalf("mean %v, want 50.5", q.Mean)
+	}
+}
+
+func TestQuantileCuts(t *testing.T) {
+	cuts := QuantileCuts(10, 4)
+	if len(cuts) != 4 {
+		t.Fatalf("got %d cuts, want 4", len(cuts))
+	}
+	covered := 0
+	prev := 0
+	for _, c := range cuts {
+		if c[0] != prev {
+			t.Fatalf("cuts %v not contiguous", cuts)
+		}
+		covered += c[1] - c[0]
+		prev = c[1]
+	}
+	if covered != 10 {
+		t.Fatalf("cuts cover %d of 10", covered)
+	}
+	// More buckets than samples: one bucket per sample, none empty.
+	if got := len(QuantileCuts(3, 8)); got != 3 {
+		t.Fatalf("QuantileCuts(3, 8) yields %d buckets, want 3", got)
+	}
+}
+
+func TestHistAddMergeBuckets(t *testing.T) {
+	var a, b Hist
+	a.Add(0)
+	a.Add(1)
+	a.Add(7)
+	b.Add(8)
+	b.Add(100)
+	a.Merge(&b)
+	if a.N != 5 || a.MaxV != 100 || a.Sum != 116 {
+		t.Fatalf("merged hist N=%d MaxV=%d Sum=%d", a.N, a.MaxV, a.Sum)
+	}
+	// 0 -> bucket 0; 1 -> bucket 1; 7 -> bucket 3 [4,7]; 8 -> bucket 4
+	// [8,15]; 100 -> bucket 7 [64,127].
+	for i, want := range map[int]int64{0: 1, 1: 1, 3: 1, 4: 1, 7: 1} {
+		if a.Buckets[i] != want {
+			t.Fatalf("bucket %d = %d, want %d", i, a.Buckets[i], want)
+		}
+	}
+	if s := a.Format("v"); s == "" {
+		t.Fatal("empty format")
+	}
+}

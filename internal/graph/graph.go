@@ -114,6 +114,13 @@ func (g *Graph) M() int { return g.m }
 // invalidate drops the sealed index after a mutation.
 func (g *Graph) invalidate() { g.idx.Store(nil) }
 
+// Seal forces the CSR lookup index to build now instead of on the first
+// port lookup. Plane compilation calls it so that the traffic engine's
+// workers start against a fully sealed, immutable index rather than
+// racing (safely, but serially) to trigger the lazy seal on their first
+// hop. Sealing an already-sealed graph is a no-op.
+func (g *Graph) Seal() { g.index() }
+
 // index returns the sealed CSR index, building it on first use. Safe for
 // concurrent callers; the built index is immutable.
 func (g *Graph) index() *csrIndex {

@@ -98,6 +98,9 @@ func NewHopFromHierarchy(g *graph.Graph, h *cover.Hierarchy) (*HopScheme, error)
 	return s, nil
 }
 
+// Graph returns the network the substrate was built over.
+func (s *HopScheme) Graph() *graph.Graph { return s.g }
+
 // R2 returns the handshake for the pair (u,v) plus the roundtrip cost
 // bound through the tree root.
 func (s *HopScheme) R2(u, v graph.NodeID) (Handshake, graph.Dist, error) {

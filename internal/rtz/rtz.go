@@ -237,6 +237,10 @@ func New(g *graph.Graph, m graph.DistanceOracle, rng *rand.Rand, cfg Config) (*S
 // LabelOf returns R3(v).
 func (s *Scheme) LabelOf(v graph.NodeID) Label { return s.Labels[v] }
 
+// Graph returns the network the scheme was built over (read-only for
+// forwarding; plane compilation needs it to resolve ports).
+func (s *Scheme) Graph() *graph.Graph { return s.g }
+
 // Forward is the local forwarding function: given only the node's table
 // and the packet header it returns the outgoing port (mutating the
 // header's phase), or delivered = true. It never consults global state.

@@ -5,6 +5,11 @@
 // only (node, header), port resolution is the fabric's job, hop budgets
 // catch routing loops, and header growth is recorded so tests can assert
 // the O(log^2 n)-bit bound.
+//
+// Two runners share one forwarding loop: Run records the full per-hop
+// path (tracing, replay verification), Fly records only aggregates (the
+// traffic engine's hot path). Both drive the same Forwarder contract, so
+// a scheme certified for one is certified for the other.
 package sim
 
 import (
@@ -27,7 +32,28 @@ type Forwarder interface {
 	Forward(at graph.NodeID, h Header) (port graph.PortID, delivered bool, err error)
 }
 
-// Trace records one packet's journey.
+// Plane is the compiled forwarding contract shared by the sequential
+// tracer and the concurrent traffic engine: a frozen scheme whose tables
+// are read-only after construction, plus the header lifecycle needed to
+// inject roundtrip packets addressed by NAME. Implementations must be
+// safe for concurrent use by any number of goroutines — Forward,
+// NewHeader and BeginReturn may only mutate the packet header passed to
+// them, never shared table state.
+type Plane interface {
+	Forwarder
+	// NewHeader returns a fresh outbound header for one roundtrip from
+	// the node named srcName to the node named dstName.
+	NewHeader(srcName, dstName int32) (Header, error)
+	// BeginReturn flips a delivered outbound header into the return leg
+	// (the acknowledgment that reuses topology learned on the way out).
+	BeginReturn(h Header) error
+	// NodeOf maps a TINN name to its topological node index.
+	NodeOf(name int32) graph.NodeID
+	// Graph returns the network fabric the plane forwards over.
+	Graph() *graph.Graph
+}
+
+// Trace records one packet's journey hop by hop.
 type Trace struct {
 	Path           []graph.NodeID
 	Weight         graph.Dist
@@ -35,39 +61,70 @@ type Trace struct {
 	MaxHeaderWords int
 }
 
+// Flight is the compact per-leg record of the allocation-lean runner: the
+// same aggregates as a Trace without the per-hop path.
+type Flight struct {
+	Weight         graph.Dist
+	Hops           int
+	MaxHeaderWords int
+	// Last is the node the packet was delivered at.
+	Last graph.NodeID
+}
+
 // Run injects a packet with header h at src and forwards it until the
 // scheme reports delivery, the hop budget is exhausted, or forwarding
 // fails. maxHops <= 0 selects the default budget of 4n hops.
 func Run(g *graph.Graph, f Forwarder, src graph.NodeID, h Header, maxHops int) (*Trace, error) {
+	path := []graph.NodeID{src}
+	fl, err := fly(g, f, src, h, maxHops, &path)
+	if err != nil {
+		return nil, err
+	}
+	return &Trace{Path: path, Weight: fl.Weight, Hops: fl.Hops, MaxHeaderWords: fl.MaxHeaderWords}, nil
+}
+
+// Fly is the hot-path runner: identical forwarding semantics to Run, but
+// it records only the Flight aggregates — no per-hop path, no per-packet
+// slice growth.
+func Fly(g *graph.Graph, f Forwarder, src graph.NodeID, h Header, maxHops int) (Flight, error) {
+	return fly(g, f, src, h, maxHops, nil)
+}
+
+// fly is the single forwarding loop behind Run and Fly. When path is
+// non-nil every visited node is appended to it.
+func fly(g *graph.Graph, f Forwarder, src graph.NodeID, h Header, maxHops int, path *[]graph.NodeID) (Flight, error) {
 	if maxHops <= 0 {
 		maxHops = 4 * g.N()
 	}
-	tr := &Trace{Path: []graph.NodeID{src}, MaxHeaderWords: h.Words()}
+	fl := Flight{Last: src, MaxHeaderWords: h.Words()}
 	cur := src
 	for {
 		port, delivered, err := f.Forward(cur, h)
-		if w := h.Words(); w > tr.MaxHeaderWords {
-			tr.MaxHeaderWords = w
+		if w := h.Words(); w > fl.MaxHeaderWords {
+			fl.MaxHeaderWords = w
 		}
 		if err != nil {
-			return nil, fmt.Errorf("sim: forwarding at node %d (hop %d): %w", cur, tr.Hops, err)
+			return fl, fmt.Errorf("sim: forwarding at node %d (hop %d): %w", cur, fl.Hops, err)
 		}
 		if delivered {
-			if cur != src || tr.Hops > 0 {
-				// Mark the final node once; Path already ends at cur.
-			}
-			return tr, nil
+			return fl, nil
 		}
 		e, ok := g.EdgeByPort(cur, port)
 		if !ok {
-			return nil, fmt.Errorf("sim: node %d has no out-port %d", cur, port)
+			return fl, fmt.Errorf("sim: node %d has no out-port %d", cur, port)
 		}
-		tr.Weight += e.Weight
+		fl.Weight += e.Weight
 		cur = e.To
-		tr.Path = append(tr.Path, cur)
-		if tr.Hops++; tr.Hops > maxHops {
-			return nil, fmt.Errorf("sim: hop budget %d exhausted (likely routing loop); path tail %v",
-				maxHops, tail(tr.Path, 8))
+		fl.Last = cur
+		if path != nil {
+			*path = append(*path, cur)
+		}
+		if fl.Hops++; fl.Hops > maxHops {
+			if path != nil {
+				return fl, fmt.Errorf("sim: hop budget %d exhausted (likely routing loop); path tail %v",
+					maxHops, tail(*path, 8))
+			}
+			return fl, fmt.Errorf("sim: hop budget %d exhausted (likely routing loop) at node %d", maxHops, cur)
 		}
 	}
 }
@@ -77,6 +134,66 @@ func tail(p []graph.NodeID, k int) []graph.NodeID {
 		return p
 	}
 	return p[len(p)-k:]
+}
+
+// Roundtrip routes one roundtrip srcName -> dstName -> srcName over the
+// plane, recording full per-hop traces for both legs and validating the
+// delivery nodes. This is the single roundtrip path the schemes' own
+// Roundtrip methods and the replay-verification tests go through.
+func Roundtrip(p Plane, srcName, dstName int32, maxHops int) (*RoundtripTrace, error) {
+	h, err := p.NewHeader(srcName, dstName)
+	if err != nil {
+		return nil, fmt.Errorf("sim: header %d->%d: %w", srcName, dstName, err)
+	}
+	src, dst := p.NodeOf(srcName), p.NodeOf(dstName)
+	out, err := Run(p.Graph(), p, src, h, maxHops)
+	if err != nil {
+		return nil, fmt.Errorf("sim: outbound %d->%d: %w", srcName, dstName, err)
+	}
+	if last := out.Path[len(out.Path)-1]; last != dst {
+		return nil, fmt.Errorf("sim: outbound %d->%d delivered at wrong node %d", srcName, dstName, last)
+	}
+	if err := p.BeginReturn(h); err != nil {
+		return nil, fmt.Errorf("sim: return header %d->%d: %w", srcName, dstName, err)
+	}
+	back, err := Run(p.Graph(), p, dst, h, maxHops)
+	if err != nil {
+		return nil, fmt.Errorf("sim: return %d->%d: %w", dstName, srcName, err)
+	}
+	if last := back.Path[len(back.Path)-1]; last != src {
+		return nil, fmt.Errorf("sim: return %d->%d delivered at wrong node %d", dstName, srcName, last)
+	}
+	return &RoundtripTrace{Out: out, Back: back}, nil
+}
+
+// RoundtripFlight is the allocation-lean roundtrip used on the traffic
+// engine's hot path: same forwarding and delivery validation as
+// Roundtrip, but no per-hop paths are recorded.
+func RoundtripFlight(p Plane, srcName, dstName int32, maxHops int) (out, back Flight, err error) {
+	h, err := p.NewHeader(srcName, dstName)
+	if err != nil {
+		return out, back, fmt.Errorf("sim: header %d->%d: %w", srcName, dstName, err)
+	}
+	g := p.Graph()
+	src, dst := p.NodeOf(srcName), p.NodeOf(dstName)
+	out, err = Fly(g, p, src, h, maxHops)
+	if err != nil {
+		return out, back, fmt.Errorf("sim: outbound %d->%d: %w", srcName, dstName, err)
+	}
+	if out.Last != dst {
+		return out, back, fmt.Errorf("sim: outbound %d->%d delivered at wrong node %d", srcName, dstName, out.Last)
+	}
+	if err = p.BeginReturn(h); err != nil {
+		return out, back, fmt.Errorf("sim: return header %d->%d: %w", srcName, dstName, err)
+	}
+	back, err = Fly(g, p, dst, h, maxHops)
+	if err != nil {
+		return out, back, fmt.Errorf("sim: return %d->%d: %w", dstName, srcName, err)
+	}
+	if back.Last != src {
+		return out, back, fmt.Errorf("sim: return %d->%d delivered at wrong node %d", dstName, srcName, back.Last)
+	}
+	return out, back, nil
 }
 
 // RoundtripTrace aggregates the outbound and return legs of a roundtrip.

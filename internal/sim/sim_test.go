@@ -111,6 +111,88 @@ func TestRunPropagatesForwardError(t *testing.T) {
 	}
 }
 
+func TestFlyMatchesRun(t *testing.T) {
+	g := ringWithPorts(t, 6)
+	tr, err := Run(g, scriptForwarder{}, 2, &hopHeader{ports: []graph.PortID{0, 0, 0, 0}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := Fly(g, scriptForwarder{}, 2, &hopHeader{ports: []graph.PortID{0, 0, 0, 0}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl.Weight != tr.Weight || fl.Hops != tr.Hops || fl.MaxHeaderWords != tr.MaxHeaderWords {
+		t.Fatalf("Fly %+v disagrees with Run %+v", fl, tr)
+	}
+	if want := tr.Path[len(tr.Path)-1]; fl.Last != want {
+		t.Fatalf("Fly.Last = %d, want %d", fl.Last, want)
+	}
+}
+
+func TestFlyHopBudget(t *testing.T) {
+	g := ringWithPorts(t, 3)
+	if _, err := Fly(g, loopForwarder{}, 0, &hopHeader{}, 10); err == nil {
+		t.Fatal("routing loop not detected by Fly")
+	}
+}
+
+// ringPlane is a toy Plane over the port-0 ring: names are node ids, the
+// header scripts dst-src forward hops out and src-dst+n back.
+type ringPlane struct {
+	g *graph.Graph
+}
+
+type ringHeader struct {
+	src, dst int32
+	h        hopHeader
+}
+
+func (h *ringHeader) Words() int { return h.h.Words() }
+
+func (p *ringPlane) NewHeader(srcName, dstName int32) (Header, error) {
+	n := int32(p.g.N())
+	steps := (dstName - srcName + n) % n
+	return &ringHeader{src: srcName, dst: dstName, h: hopHeader{ports: make([]graph.PortID, steps)}}, nil
+}
+
+func (p *ringPlane) BeginReturn(h Header) error {
+	hh := h.(*ringHeader)
+	n := int32(p.g.N())
+	steps := (hh.src - hh.dst + n) % n
+	hh.h = hopHeader{ports: make([]graph.PortID, steps)}
+	return nil
+}
+
+func (p *ringPlane) Forward(at graph.NodeID, h Header) (graph.PortID, bool, error) {
+	return scriptForwarder{}.Forward(at, &h.(*ringHeader).h)
+}
+
+func (p *ringPlane) NodeOf(name int32) graph.NodeID { return graph.NodeID(name) }
+func (p *ringPlane) Graph() *graph.Graph            { return p.g }
+
+func TestPlaneRoundtripAndFlight(t *testing.T) {
+	p := &ringPlane{g: ringWithPorts(t, 8)}
+	rt, err := Roundtrip(p, 2, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Out.Hops != 3 || rt.Back.Hops != 5 || rt.Hops() != 8 {
+		t.Fatalf("roundtrip hops out=%d back=%d", rt.Out.Hops, rt.Back.Hops)
+	}
+	if last := rt.Out.Path[len(rt.Out.Path)-1]; last != 5 {
+		t.Fatalf("outbound delivered at %d", last)
+	}
+	out, back, err := RoundtripFlight(p, 2, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Hops != rt.Out.Hops || back.Hops != rt.Back.Hops ||
+		out.Weight != rt.Out.Weight || back.Weight != rt.Back.Weight ||
+		out.Last != 5 || back.Last != 2 {
+		t.Fatalf("flight %+v/%+v disagrees with trace", out, back)
+	}
+}
+
 func TestRoundtripTraceAggregation(t *testing.T) {
 	rt := &RoundtripTrace{
 		Out:  &Trace{Weight: 7, Hops: 3, MaxHeaderWords: 5},

@@ -1,0 +1,247 @@
+package traffic
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"rtroute/internal/eval"
+	"rtroute/internal/graph"
+	"rtroute/internal/sim"
+)
+
+// Config parameterizes one engine run.
+type Config struct {
+	// Workers is the number of serving goroutines (0 = GOMAXPROCS).
+	Workers int
+	// Packets is the total number of roundtrips to serve; required > 0.
+	Packets int64
+	// Workload selects the pair distribution (zero value = uniform).
+	Workload Spec
+	// Seed makes the workload reproducible: same (Seed, Workers,
+	// Workload, Packets) serves the identical pair multiset.
+	Seed int64
+	// MaxHops bounds each leg (0 = sim's default 4n budget).
+	MaxHops int
+	// Oracle, when non-nil, enables stretch accounting: measured
+	// roundtrip weight over true roundtrip distance. The oracle is
+	// consulted only in the post-run merge — never on the hot path —
+	// grouped by source so a lazy oracle pays at most two Dijkstras per
+	// distinct source.
+	Oracle graph.DistanceOracle
+	// SampleEvery records every k-th packet of each worker for stretch
+	// accounting (0 or 1 = every packet). Counters and histograms
+	// always cover every packet.
+	SampleEvery int
+}
+
+// WorkerStats is one worker's merged shard.
+type WorkerStats struct {
+	Worker  int
+	Packets int64
+	Hops    int64
+	Weight  int64
+}
+
+// Result aggregates one engine run.
+type Result struct {
+	Workers   int
+	Packets   int64
+	Hops      int64
+	Weight    int64
+	Elapsed   time.Duration
+	HopHist   eval.Hist // per-roundtrip hop counts
+	HdrHist   eval.Hist // per-roundtrip peak header words
+	Stretch   eval.Quantiles
+	Sampled   int // packets in the stretch sample
+	PerWorker []WorkerStats
+}
+
+// PacketsPerSec returns the serving rate.
+func (r *Result) PacketsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Packets) / r.Elapsed.Seconds()
+}
+
+// HopsPerSec returns the per-hop forwarding rate.
+func (r *Result) HopsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Hops) / r.Elapsed.Seconds()
+}
+
+// sample is one recorded roundtrip for the stretch post-pass.
+type sample struct {
+	src, dst graph.NodeID
+	weight   graph.Dist
+}
+
+// shard is one worker's private state: RNG, counters, histograms,
+// samples. Each shard is its own heap allocation touched by exactly one
+// goroutine; nothing is shared until the merge after the run.
+type shard struct {
+	stats   WorkerStats
+	hopHist eval.Hist
+	hdrHist eval.Hist
+	samples []sample
+	err     error
+}
+
+// Run serves cfg.Packets roundtrips through the compiled plane and
+// merges the shards. The pair multiset — and therefore every
+// distribution in the Result — is a pure function of (Seed, Workers,
+// Workload, Packets); only Elapsed and the rates vary between runs.
+func Run(pl *Plane, cfg Config) (*Result, error) {
+	if cfg.Packets <= 0 {
+		return nil, fmt.Errorf("traffic: packets must be > 0, got %d", cfg.Packets)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	wl, err := NewWorkload(cfg.Workload, pl.N(), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	stride := int64(cfg.SampleEvery)
+	if stride < 1 {
+		stride = 1
+	}
+	quotas := split(cfg.Packets, workers)
+	shards := make([]*shard, workers)
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		sh := &shard{stats: WorkerStats{Worker: w}}
+		shards[w] = sh
+		gen := wl.Generator(w)
+		quota := quotas[w]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if cfg.Oracle != nil {
+				sh.samples = make([]sample, 0, quota/stride+1)
+			}
+			for i := int64(0); i < quota; i++ {
+				src, dst := gen.Next()
+				out, back, err := sim.RoundtripFlight(pl, src, dst, cfg.MaxHops)
+				if err != nil {
+					sh.err = fmt.Errorf("traffic: worker %d packet %d: %w", sh.stats.Worker, i, err)
+					return
+				}
+				weight := out.Weight + back.Weight
+				hops := out.Hops + back.Hops
+				sh.stats.Packets++
+				sh.stats.Hops += int64(hops)
+				sh.stats.Weight += int64(weight)
+				sh.hopHist.Add(hops)
+				hw := out.MaxHeaderWords
+				if back.MaxHeaderWords > hw {
+					hw = back.MaxHeaderWords
+				}
+				sh.hdrHist.Add(hw)
+				if cfg.Oracle != nil && i%stride == 0 {
+					sh.samples = append(sh.samples, sample{src: pl.NodeOf(src), dst: pl.NodeOf(dst), weight: weight})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &Result{Workers: workers, Elapsed: elapsed, PerWorker: make([]WorkerStats, workers)}
+	var samples []sample
+	for w, sh := range shards {
+		if sh.err != nil {
+			return nil, sh.err
+		}
+		res.PerWorker[w] = sh.stats
+		res.Packets += sh.stats.Packets
+		res.Hops += sh.stats.Hops
+		res.Weight += sh.stats.Weight
+		res.HopHist.Merge(&sh.hopHist)
+		res.HdrHist.Merge(&sh.hdrHist)
+		samples = append(samples, sh.samples...)
+	}
+	if cfg.Oracle != nil {
+		res.Stretch, err = stretchQuantiles(cfg.Oracle, samples)
+		if err != nil {
+			return nil, err
+		}
+		res.Sampled = len(samples)
+	}
+	return res, nil
+}
+
+// split divides total packets across workers, front-loading remainders:
+// worker w serves total/workers plus one when w < total%workers. The
+// replay tests mirror this partition, so it is part of the engine's
+// determinism contract.
+func split(total int64, workers int) []int64 {
+	quotas := make([]int64, workers)
+	base, rem := total/int64(workers), total%int64(workers)
+	for w := range quotas {
+		quotas[w] = base
+		if int64(w) < rem {
+			quotas[w]++
+		}
+	}
+	return quotas
+}
+
+// stretchQuantiles computes measured-over-true roundtrip stretch for the
+// samples. Samples are grouped by source so each distinct source costs
+// two oracle rows (one forward, one reverse) no matter how many packets
+// it sent — the same anchored-row discipline the scheme constructions
+// use, which keeps a lazy oracle's work proportional to distinct
+// sources, not packets.
+func stretchQuantiles(m graph.DistanceOracle, samples []sample) (eval.Quantiles, error) {
+	sort.Slice(samples, func(i, j int) bool {
+		if samples[i].src != samples[j].src {
+			return samples[i].src < samples[j].src
+		}
+		return samples[i].dst < samples[j].dst
+	})
+	xs := make([]float64, 0, len(samples))
+	var fwd, rev []graph.Dist
+	cur := graph.NodeID(-1)
+	for _, s := range samples {
+		if s.src != cur {
+			cur = s.src
+			fwd = m.FromSource(cur)
+			rev = m.ToSink(cur)
+		}
+		r := graph.RFromRows(fwd, rev, s.dst)
+		if r <= 0 || r >= graph.Inf {
+			return eval.Quantiles{}, fmt.Errorf("traffic: degenerate roundtrip distance for (%d,%d)", s.src, s.dst)
+		}
+		xs = append(xs, float64(s.weight)/float64(r))
+	}
+	return eval.QuantilesOf(xs), nil
+}
+
+// Format renders the result as the E12 serving report.
+func (r *Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "packets %d  workers %d  elapsed %v\n", r.Packets, r.Workers, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "throughput %.0f packets/s  %.0f hops/s  (%.1f hops/roundtrip)\n",
+		r.PacketsPerSec(), r.HopsPerSec(), r.HopHist.Mean())
+	if r.Sampled > 0 {
+		fmt.Fprintf(&b, "stretch (over %d sampled packets): p50 %.3f  p95 %.3f  p99 %.3f  max %.3f  mean %.3f\n",
+			r.Sampled, r.Stretch.P50, r.Stretch.P95, r.Stretch.P99, r.Stretch.Max, r.Stretch.Mean)
+	}
+	fmt.Fprintf(&b, "\nroundtrip hops\n%s", r.HopHist.Format("hops"))
+	fmt.Fprintf(&b, "\npeak header words\n%s", r.HdrHist.Format("words"))
+	fmt.Fprintf(&b, "\n%-8s %12s %12s %12s\n", "worker", "packets", "hops", "weight")
+	for _, ws := range r.PerWorker {
+		fmt.Fprintf(&b, "%-8d %12d %12d %12d\n", ws.Worker, ws.Packets, ws.Hops, ws.Weight)
+	}
+	return b.String()
+}

@@ -1,0 +1,205 @@
+package traffic
+
+import (
+	"fmt"
+
+	"rtroute/internal/graph"
+	"rtroute/internal/names"
+	"rtroute/internal/rtz"
+	"rtroute/internal/sim"
+)
+
+// Plane is a compiled forwarding plane: a sim.Plane certified for
+// concurrent service. Compile seals the graph's CSR index eagerly and
+// probes one roundtrip so a misconfigured plane fails at compile time,
+// not packet 731,204 of a run.
+type Plane struct {
+	sim.Plane
+	n int
+}
+
+// N returns the size of the plane's name universe.
+func (p *Plane) N() int { return p.n }
+
+// Compile freezes a forwarding surface for concurrent service. The
+// returned plane shares the scheme's tables — compilation adds no copy;
+// its guarantee is that everything the hot path touches (tables, CSR
+// port index) is fully built and read-only before the first worker
+// starts, so the engine's goroutines forward with zero locks.
+func Compile(p sim.Plane) (*Plane, error) {
+	if p == nil {
+		return nil, fmt.Errorf("traffic: nil plane")
+	}
+	g := p.Graph()
+	if g == nil {
+		return nil, fmt.Errorf("traffic: plane has no graph")
+	}
+	n := g.N()
+	if n < 2 {
+		return nil, fmt.Errorf("traffic: plane needs at least 2 nodes, got %d", n)
+	}
+	g.Seal()
+	// Probe one roundtrip between two arbitrary names; names are a
+	// permutation of {0..n-1}, so 0 and 1 always exist.
+	if _, _, err := sim.RoundtripFlight(p, 0, 1, 0); err != nil {
+		return nil, fmt.Errorf("traffic: compile probe: %w", err)
+	}
+	return &Plane{Plane: p, n: n}, nil
+}
+
+// rtzHeader carries one roundtrip over the stretch-3 substrate: the leg
+// header plus the source's address R3(s) learned at injection, so the
+// return leg routes with node-local state only (§1.1.1's reply rule).
+type rtzHeader struct {
+	srcName, dstName int32
+	srcLabel         rtz.Label
+	leg              rtz.Header
+}
+
+// Words implements sim.Header.
+func (h *rtzHeader) Words() int { return 2 + h.srcLabel.Words() + h.leg.Words() }
+
+// RTZPlane adapts the name-dependent RTZ stretch-3 substrate to the
+// sim.Plane contract, so the traffic engine can serve it as a baseline
+// next to the TINN schemes. The adapter resolves a destination name to
+// its address R3 at header-creation time — modeling a source that was
+// handed the address out of band, which is exactly the name-dependent
+// model's assumption.
+type RTZPlane struct {
+	sub  *rtz.Scheme
+	perm *names.Permutation
+}
+
+// NewRTZPlane wraps a built substrate with a naming.
+func NewRTZPlane(sub *rtz.Scheme, perm *names.Permutation) (*RTZPlane, error) {
+	if perm.N() != sub.Graph().N() {
+		return nil, fmt.Errorf("traffic: naming covers %d nodes, substrate has %d", perm.N(), sub.Graph().N())
+	}
+	return &RTZPlane{sub: sub, perm: perm}, nil
+}
+
+// NewHeader implements sim.Plane.
+func (p *RTZPlane) NewHeader(srcName, dstName int32) (sim.Header, error) {
+	if err := checkName(p.perm, srcName); err != nil {
+		return nil, err
+	}
+	if err := checkName(p.perm, dstName); err != nil {
+		return nil, err
+	}
+	src := graph.NodeID(p.perm.Node(srcName))
+	dst := graph.NodeID(p.perm.Node(dstName))
+	return &rtzHeader{
+		srcName:  srcName,
+		dstName:  dstName,
+		srcLabel: p.sub.LabelOf(src),
+		leg:      rtz.Header{Dest: dst, Label: p.sub.LabelOf(dst), Phase: rtz.PhaseSeek},
+	}, nil
+}
+
+// BeginReturn implements sim.Plane.
+func (p *RTZPlane) BeginReturn(h sim.Header) error {
+	hh, ok := h.(*rtzHeader)
+	if !ok {
+		return fmt.Errorf("traffic: rtz plane got %T header", h)
+	}
+	hh.leg = rtz.Header{Dest: hh.srcLabel.Node, Label: hh.srcLabel, Phase: rtz.PhaseSeek}
+	return nil
+}
+
+// Forward implements sim.Forwarder: pure delegation to the substrate's
+// node-local forwarding function.
+func (p *RTZPlane) Forward(at graph.NodeID, h sim.Header) (graph.PortID, bool, error) {
+	hh, ok := h.(*rtzHeader)
+	if !ok {
+		return 0, false, fmt.Errorf("traffic: rtz plane got %T header", h)
+	}
+	return rtz.Forward(p.sub.Tables[at], &hh.leg)
+}
+
+// NodeOf implements sim.Plane.
+func (p *RTZPlane) NodeOf(name int32) graph.NodeID { return graph.NodeID(p.perm.Node(name)) }
+
+// Graph implements sim.Plane.
+func (p *RTZPlane) Graph() *graph.Graph { return p.sub.Graph() }
+
+var _ sim.Plane = (*RTZPlane)(nil)
+
+// hopHeader carries one roundtrip over the hop substrate: the handshake
+// R2(s,t) resolved at injection, and the live leg within its tree.
+type hopHeader struct {
+	hs  rtz.Handshake
+	leg rtz.HopHeader
+}
+
+// Words implements sim.Header.
+func (h *hopHeader) Words() int { return h.hs.Words() + h.leg.Words() }
+
+// HopPlane adapts the Lemma 5 double-tree-cover substrate ("Hop") to the
+// sim.Plane contract: each roundtrip runs out and back inside the
+// handshake's most convenient shared tree.
+type HopPlane struct {
+	hop  *rtz.HopScheme
+	perm *names.Permutation
+}
+
+// NewHopPlane wraps a built hop substrate with a naming.
+func NewHopPlane(hop *rtz.HopScheme, perm *names.Permutation) (*HopPlane, error) {
+	if perm.N() != hop.Graph().N() {
+		return nil, fmt.Errorf("traffic: naming covers %d nodes, substrate has %d", perm.N(), hop.Graph().N())
+	}
+	return &HopPlane{hop: hop, perm: perm}, nil
+}
+
+// NewHeader implements sim.Plane: it resolves the handshake R2(s,t) —
+// the pairwise state §3.3's dictionary would have stored — and arms the
+// outbound leg toward t's label in the shared tree.
+func (p *HopPlane) NewHeader(srcName, dstName int32) (sim.Header, error) {
+	if err := checkName(p.perm, srcName); err != nil {
+		return nil, err
+	}
+	if err := checkName(p.perm, dstName); err != nil {
+		return nil, err
+	}
+	u := graph.NodeID(p.perm.Node(srcName))
+	v := graph.NodeID(p.perm.Node(dstName))
+	hs, _, err := p.hop.R2(u, v)
+	if err != nil {
+		return nil, fmt.Errorf("traffic: handshake (%d,%d): %w", srcName, dstName, err)
+	}
+	return &hopHeader{hs: hs, leg: rtz.HopHeader{Ref: hs.Ref, Target: hs.VLabel}}, nil
+}
+
+// BeginReturn implements sim.Plane: rewind the leg toward the source's
+// label in the same tree.
+func (p *HopPlane) BeginReturn(h sim.Header) error {
+	hh, ok := h.(*hopHeader)
+	if !ok {
+		return fmt.Errorf("traffic: hop plane got %T header", h)
+	}
+	hh.leg = rtz.HopHeader{Ref: hh.hs.Ref, Target: hh.hs.ULabel}
+	return nil
+}
+
+// Forward implements sim.Forwarder.
+func (p *HopPlane) Forward(at graph.NodeID, h sim.Header) (graph.PortID, bool, error) {
+	hh, ok := h.(*hopHeader)
+	if !ok {
+		return 0, false, fmt.Errorf("traffic: hop plane got %T header", h)
+	}
+	return rtz.ForwardHop(p.hop.Tables[at], &hh.leg)
+}
+
+// NodeOf implements sim.Plane.
+func (p *HopPlane) NodeOf(name int32) graph.NodeID { return graph.NodeID(p.perm.Node(name)) }
+
+// Graph implements sim.Plane.
+func (p *HopPlane) Graph() *graph.Graph { return p.hop.Graph() }
+
+var _ sim.Plane = (*HopPlane)(nil)
+
+func checkName(perm *names.Permutation, name int32) error {
+	if name < 0 || int(name) >= perm.N() {
+		return fmt.Errorf("traffic: name %d outside [0,%d)", name, perm.N())
+	}
+	return nil
+}

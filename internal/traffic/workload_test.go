@@ -1,0 +1,150 @@
+package traffic
+
+import (
+	"testing"
+)
+
+func collect(g Generator, k int) [][2]int32 {
+	out := make([][2]int32, k)
+	for i := range out {
+		s, d := g.Next()
+		out[i] = [2]int32{s, d}
+	}
+	return out
+}
+
+func TestWorkloadsValidAndDeterministic(t *testing.T) {
+	const n = 50
+	for _, spec := range []Spec{
+		{Kind: Uniform},
+		{Kind: Zipf},
+		{Kind: Zipf, ZipfTheta: 0.5},
+		{Kind: Hotspot},
+		{Kind: Hotspot, HotFraction: 0.5, HotSetSize: 3},
+		{Kind: RPC},
+		{Kind: RPC, MeanFlowLength: 4},
+		{}, // zero value = uniform
+	} {
+		w1, err := NewWorkload(spec, n, 7)
+		if err != nil {
+			t.Fatalf("%+v: %v", spec, err)
+		}
+		w2, err := NewWorkload(spec, n, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := collect(w1.Generator(3), 2000)
+		b := collect(w2.Generator(3), 2000)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: stream diverges at %d: %v vs %v", spec.Kind, i, a[i], b[i])
+			}
+			src, dst := a[i][0], a[i][1]
+			if src == dst {
+				t.Fatalf("%s: degenerate pair %v", spec.Kind, a[i])
+			}
+			if src < 0 || src >= n || dst < 0 || dst >= n {
+				t.Fatalf("%s: pair %v outside universe", spec.Kind, a[i])
+			}
+		}
+		// Distinct workers draw distinct streams.
+		c := collect(w1.Generator(4), 100)
+		same := 0
+		for i := range c {
+			if c[i] == a[i] {
+				same++
+			}
+		}
+		if same == len(c) {
+			t.Fatalf("%s: workers 3 and 4 produced identical streams", spec.Kind)
+		}
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	bad := []Spec{
+		{Kind: "nope"},
+		{Kind: Zipf, ZipfTheta: 1.0},
+		{Kind: Zipf, ZipfTheta: -0.1},
+		{Kind: Hotspot, HotFraction: 1.5},
+		{Kind: Hotspot, HotSetSize: 99},
+		{Kind: RPC, MeanFlowLength: -1},
+	}
+	for _, spec := range bad {
+		if _, err := NewWorkload(spec, 10, 1); err == nil {
+			t.Errorf("spec %+v accepted", spec)
+		}
+	}
+	if _, err := NewWorkload(Spec{}, 1, 1); err == nil {
+		t.Error("1-name universe accepted")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	const n, draws = 200, 50000
+	w, err := NewWorkload(Spec{Kind: Zipf, ZipfTheta: 0.9}, n, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int32]int)
+	g := w.Generator(0)
+	for i := 0; i < draws; i++ {
+		_, d := g.Next()
+		counts[d]++
+	}
+	// The most popular name is rank 0 of the shared shuffled ranking.
+	top := counts[w.rank[0]]
+	if uniform := draws / n; top < 8*uniform {
+		t.Fatalf("top destination drew %d of %d, want heavy skew (uniform would be %d)", top, draws, uniform)
+	}
+	// Same ranking for every worker: worker 5's top name matches.
+	counts5 := make(map[int32]int)
+	g5 := w.Generator(5)
+	for i := 0; i < draws; i++ {
+		_, d := g5.Next()
+		counts5[d]++
+	}
+	if top5 := counts5[w.rank[0]]; top5 < 8*(draws/n) {
+		t.Fatalf("worker 5 does not share the popularity ranking (top name drew %d)", top5)
+	}
+}
+
+func TestHotspotFraction(t *testing.T) {
+	const n, draws = 100, 40000
+	w, err := NewWorkload(Spec{Kind: Hotspot, HotFraction: 0.8, HotSetSize: 2}, n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := map[int32]bool{w.rank[0]: true, w.rank[1]: true}
+	g := w.Generator(0)
+	hits := 0
+	for i := 0; i < draws; i++ {
+		_, d := g.Next()
+		if hot[d] {
+			hits++
+		}
+	}
+	frac := float64(hits) / draws
+	if frac < 0.75 || frac > 0.85 {
+		t.Fatalf("hot fraction %.3f, want ~0.8", frac)
+	}
+}
+
+func TestRPCFlowsRepeatPairs(t *testing.T) {
+	w, err := NewWorkload(Spec{Kind: RPC, MeanFlowLength: 8}, 64, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := w.Generator(0)
+	pairs := collect(g, 10000)
+	repeats := 0
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i] == pairs[i-1] {
+			repeats++
+		}
+	}
+	// Mean flow length 8 means ~7/8 of consecutive pairs repeat.
+	if frac := float64(repeats) / float64(len(pairs)-1); frac < 0.7 || frac > 0.95 {
+		t.Fatalf("repeat fraction %.3f, want ~0.875", frac)
+	}
+}

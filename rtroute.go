@@ -37,7 +37,9 @@ import (
 	"rtroute/internal/graph"
 	"rtroute/internal/lowerbound"
 	"rtroute/internal/names"
+	"rtroute/internal/rtz"
 	"rtroute/internal/sim"
+	"rtroute/internal/traffic"
 )
 
 // Core aliases: the facade exposes the internal types directly so that
@@ -328,6 +330,71 @@ func ProfileScheme(sys *System, sch Scheme, pairLimit, buckets int, seed int64) 
 
 // FormatProfile renders a stretch profile as text.
 func FormatProfile(buckets []ProfileBucket) string { return eval.FormatProfile(buckets) }
+
+// Traffic engine re-exports (experiment E12 / scaling study S3): compile
+// a built scheme into a frozen concurrent forwarding plane and drive
+// skewed workloads through it from sharded workers.
+type (
+	// ForwardingPlane is the compiled read-only forwarding contract
+	// (sim.Plane) shared by the sequential tracer and the traffic
+	// engine. Every built Scheme is a ForwardingPlane.
+	ForwardingPlane = sim.Plane
+	// TrafficConfig parameterizes one engine run.
+	TrafficConfig = traffic.Config
+	// TrafficResult aggregates one engine run's serving stats.
+	TrafficResult = traffic.Result
+	// TrafficWorkload selects and tunes the generated pair distribution.
+	TrafficWorkload = traffic.Spec
+	// WorkloadKind names a workload pair distribution.
+	WorkloadKind = traffic.Kind
+)
+
+// Workload kinds for TrafficWorkload.Kind.
+const (
+	WorkloadUniform = traffic.Uniform
+	WorkloadZipf    = traffic.Zipf
+	WorkloadHotspot = traffic.Hotspot
+	WorkloadRPC     = traffic.RPC
+)
+
+// ServeTraffic compiles the plane (sealing the graph index, certifying
+// it with a probe roundtrip) and serves cfg.Packets roundtrips through
+// it across cfg.Workers goroutines. When cfg.Oracle is nil, the system's
+// own distance oracle supplies the stretch accounting.
+func (s *System) ServeTraffic(plane ForwardingPlane, cfg TrafficConfig) (*TrafficResult, error) {
+	pl, err := traffic.Compile(plane)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Oracle == nil {
+		cfg.Oracle = s.Metric
+	}
+	return traffic.Run(pl, cfg)
+}
+
+// BuildRTZPlane builds the name-dependent RTZ stretch-3 substrate and
+// wraps it as a servable forwarding plane — the [35] baseline for the
+// E12 serving experiments.
+func (s *System) BuildRTZPlane(seed int64) (ForwardingPlane, error) {
+	sub, err := rtz.New(s.Graph, s.Metric, rand.New(rand.NewSource(seed)), rtz.Config{})
+	if err != nil {
+		return nil, err
+	}
+	return traffic.NewRTZPlane(sub, s.Naming)
+}
+
+// BuildHopPlane builds the Lemma 5 double-tree-cover substrate with
+// cover parameter k >= 2 and wraps it as a servable forwarding plane.
+func (s *System) BuildHopPlane(k int) (ForwardingPlane, error) {
+	hop, err := rtz.NewHop(s.Graph, s.Metric, k, 2, cover.VariantAwerbuchPeleg)
+	if err != nil {
+		return nil, err
+	}
+	return traffic.NewHopPlane(hop, s.Naming)
+}
+
+// FormatTraffic renders a traffic result as the E12 serving report.
+func FormatTraffic(r *TrafficResult) string { return r.Format() }
 
 // AnalyzeLowerBound runs the Theorem 15 reduction of a scheme over a
 // bidirected graph (E8).
