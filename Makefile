@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: all build test verify race short large bench fmt vet lint ci traffic traffic-large
+# benchcmp knobs: make benchcmp OUT=new.txt COUNT=10, then
+# `benchstat old.txt new.txt`.
+BENCH_PATTERN ?= Dijkstra|EdgeByPort|MetricBuild|TrafficThroughput
+COUNT ?= 5
+OUT ?= bench-new.txt
+
+.PHONY: all build test verify race short large bench bench-smoke bench-json benchcmp fmt vet lint ci traffic traffic-large
 
 all: verify
 
@@ -38,6 +44,24 @@ traffic-large:
 bench:
 	$(GO) test -run XXX -bench . -benchmem ./...
 
+# One iteration of every benchmark: catches bit-rotted benchmark code on
+# every CI push without paying for real measurements.
+bench-smoke:
+	$(GO) test -run XXX -bench . -benchtime 1x ./...
+
+# Canonical perf suite -> committed trajectory artifact (E13). Bump the
+# output name per PR: BENCH_PR3.json, BENCH_PR4.json, ...
+bench-json:
+	$(GO) run ./cmd/rtbench -exp bench -json -out BENCH_PR3.json
+
+# Before/after comparisons: run `make benchcmp OUT=old.txt` on the old
+# commit, again with OUT=new.txt on the new one, then
+# `benchstat old.txt new.txt` (golang.org/x/perf/cmd/benchstat).
+benchcmp:
+	$(GO) test -run XXX -bench '$(BENCH_PATTERN)' -benchmem -count $(COUNT) . > $(OUT)
+	@cat $(OUT)
+	@echo "# wrote $(OUT); compare with: benchstat <old>.txt $(OUT)"
+
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
@@ -46,4 +70,4 @@ vet:
 
 lint: fmt vet
 
-ci: lint build race traffic
+ci: lint build race traffic bench-smoke

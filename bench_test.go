@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"rtroute/internal/benchsuite"
 	"rtroute/internal/blocks"
 	"rtroute/internal/cover"
 	"rtroute/internal/graph"
@@ -254,18 +255,15 @@ func BenchmarkLemma2RTZOneWay(b *testing.B) {
 	}
 }
 
-// BenchmarkDijkstra measures the shortest-path substrate (S1).
-func BenchmarkDijkstra(b *testing.B) {
-	rng := rand.New(rand.NewSource(19))
-	g := RandomSC(1024, 8192, 16, rng)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		res := graph.Dijkstra(g, graph.NodeID(i%g.N()))
-		if res.Dist[(i+1)%g.N()] >= Inf {
-			b.Fatal("unreachable in SC graph")
-		}
-	}
-}
+// BenchmarkDijkstra measures the shortest-path substrate (S1): the
+// pooled one-shot entry point, which pays two owned-row copies per call.
+// The body lives in benchsuite so `go test -bench` and `rtbench -exp
+// bench` measure the identical code.
+func BenchmarkDijkstra(b *testing.B) { benchsuite.BenchDijkstraPooled(b) }
+
+// BenchmarkDijkstraScratch measures the zero-allocation core (E13/S4):
+// the same runs through one reused SSSPScratch, rows aliased not copied.
+func BenchmarkDijkstraScratch(b *testing.B) { benchsuite.BenchDijkstraScratch(b) }
 
 // BenchmarkAllPairs measures full metric construction (S1).
 func BenchmarkAllPairs(b *testing.B) {
@@ -328,49 +326,20 @@ func BenchmarkInitOrder(b *testing.B) {
 // row sweep (2n Dijkstras, bounded cache) — the worst case a scheme
 // build can demand of it.
 func BenchmarkMetricBuild(b *testing.B) {
-	rng := rand.New(rand.NewSource(31))
-	g := RandomSC(512, 2048, 8, rng)
-	b.Run("dense-sequential", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if m := graph.AllPairsSequential(g); m.N() != g.N() {
-				b.Fatal("bad metric")
-			}
-		}
-	})
-	b.Run("dense-parallel", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if m := AllPairs(g); m.N() != g.N() {
-				b.Fatal("bad metric")
-			}
-		}
-	})
-	b.Run("lazy-full-sweep", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			o := NewLazyOracle(g, 64)
-			var sink Dist
-			for u := 0; u < g.N(); u++ {
-				sink += o.FromSource(NodeID(u))[0] + o.ToSink(NodeID(u))[0]
-			}
-			if sink < 0 {
-				b.Fatal("impossible")
-			}
-		}
-	})
-	b.Run("lazy-single-row", func(b *testing.B) {
-		// The latency a cold point query actually pays: one Dijkstra,
-		// versus the full n-Dijkstra dense build it replaces.
-		for i := 0; i < b.N; i++ {
-			o := NewLazyOracle(g, 2)
-			if o.FromSource(NodeID(i % g.N()))[0] < 0 {
-				b.Fatal("impossible")
-			}
-		}
-	})
+	// Bodies live in benchsuite (shared with `rtbench -exp bench`);
+	// lazy-single-row measures the latency a cold point query actually
+	// pays: one Dijkstra, versus the full n-Dijkstra dense build.
+	b.Run("dense-sequential", benchsuite.BenchMetricDenseSequential)
+	b.Run("dense-parallel", benchsuite.BenchMetricDenseParallel)
+	b.Run("lazy-full-sweep", benchsuite.BenchMetricLazyFullSweep)
+	b.Run("lazy-single-row", benchsuite.BenchMetricLazySingleRow)
 }
 
-// BenchmarkEdgeByPort compares the per-hop port-resolution cost before
-// and after the CSR index: the O(degree) linear scan the simulator used
-// to pay on every hop versus the sealed binary-search lookup.
+// BenchmarkEdgeByPort compares the per-hop port-resolution cost across
+// generations of the lookup: the O(degree) linear scan, the sealed O(1)
+// tables behind EdgeByPort ("csr" sub-benchmark name kept for trajectory
+// continuity — adversarial labels exercise the open-addressed path,
+// "dense" the flat-table path), and the O(1) pair hash.
 func BenchmarkEdgeByPort(b *testing.B) {
 	rng := rand.New(rand.NewSource(33))
 	g := RandomSC(1024, 16*1024, 8, rng)
@@ -400,18 +369,11 @@ func BenchmarkEdgeByPort(b *testing.B) {
 			}
 		}
 	})
-	b.Run("csr", func(b *testing.B) {
-		if _, ok := g.EdgeByPort(probes[0].u, probes[0].p); !ok {
-			b.Fatal("probe port missing")
-		}
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			pr := probes[i%len(probes)]
-			if _, ok := g.EdgeByPort(pr.u, pr.p); !ok {
-				b.Fatal("probe port missing")
-			}
-		}
-	})
+	// "csr" (adversarial labels -> hashed tables; name kept for
+	// trajectory continuity) and "dense" (contiguous labels -> flat
+	// tables) share their bodies with `rtbench -exp bench`.
+	b.Run("csr", benchsuite.BenchEdgeByPortAdversarial)
+	b.Run("dense", benchsuite.BenchEdgeByPortDense)
 	b.Run("portto-hash", func(b *testing.B) {
 		// The companion O(1) pair lookup used by table construction.
 		targets := make([]NodeID, len(probes))

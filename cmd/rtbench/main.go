@@ -13,6 +13,8 @@
 //	rtbench -exp ablation -n 36 -seed 1        # cover-variant ablation (E10)
 //	rtbench -exp traffic -n 256 -packets 200000 -workload zipf -workers 4
 //	                                           # concurrent serving engine (E12/S3)
+//	rtbench -exp bench -json -out BENCH_PR3.json
+//	                                           # canonical perf suite -> trajectory artifact (E13)
 package main
 
 import (
@@ -24,17 +26,20 @@ import (
 	"strings"
 
 	"rtroute"
+	"rtroute/internal/benchsuite"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "fig1", "experiment: fig1|fig2|fig5|fig10|space|stretch|profile|lower|ablation|traffic")
+		exp    = flag.String("exp", "fig1", "experiment: fig1|fig2|fig5|fig10|space|stretch|profile|lower|ablation|traffic|bench")
 		n      = flag.Int("n", 64, "number of nodes")
 		seed   = flag.Int64("seed", 1, "random seed")
 		ks     = flag.String("k", "2,3", "comma-separated tradeoff parameters")
 		metric = flag.String("metric", "dense", "distance oracle: dense|lazy")
 		cache  = flag.Int("lazy-cache", 0, "lazy oracle row-cache budget (0 = default)")
 	)
+	flag.BoolVar(&benchJSON, "json", false, "bench: also write the report as JSON")
+	flag.StringVar(&benchOut, "out", "BENCH_PR3.json", "bench: JSON output path (with -json)")
 	flag.IntVar(&trafficWorkers, "workers", 0, "traffic: serving goroutines (0 = GOMAXPROCS)")
 	flag.StringVar(&trafficWorkload, "workload", "zipf", "traffic: pair distribution: uniform|zipf|hotspot|rpc")
 	flag.Float64Var(&trafficZipf, "zipf", 0.9, "traffic: zipf skew theta in [0,1)")
@@ -67,6 +72,10 @@ var (
 	trafficZipf     float64
 	trafficPackets  int64
 	trafficScheme   string
+
+	// -exp bench knobs.
+	benchJSON bool
+	benchOut  string
 )
 
 func newSystem(g *rtroute.Graph, naming *rtroute.Naming) (*rtroute.System, error) {
@@ -108,9 +117,33 @@ func run(exp string, n int, seed int64, ks []int) error {
 		return runAblation(n, seed)
 	case "traffic":
 		return runTraffic(n, seed)
+	case "bench":
+		return runBench()
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
+}
+
+// runBench executes the canonical perf suite (E13) and optionally writes
+// the BENCH_PR<k>.json trajectory artifact.
+func runBench() error {
+	fmt.Println("# E13 — canonical perf suite (Dijkstra, EdgeByPort, MetricBuild, TrafficThroughput)")
+	fmt.Println("# each row runs ~1s of iterations; see DESIGN.md \"Hot-path engineering\"")
+	fmt.Println()
+	rep := benchsuite.Run()
+	fmt.Print(rep.Format())
+	if !benchJSON {
+		return nil
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(benchOut, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", benchOut)
+	return nil
 }
 
 func runTraffic(n int, seed int64) error {

@@ -1,0 +1,271 @@
+// Package benchsuite holds the canonical performance suite — Dijkstra,
+// EdgeByPort, MetricBuild, TrafficThroughput — as exported benchmark
+// bodies, so one implementation serves both surfaces: `go test -bench`
+// (bench_test.go delegates here) and `rtbench -exp bench`, which runs
+// the suite outside `go test` and captures the perf trajectory as a
+// committed artifact (BENCH_PR<k>.json) with ns/op, allocs/op and the
+// engine's packets/s, comparable number-for-number across PRs
+// (`make bench-json`, `make benchcmp`).
+package benchsuite
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"rtroute/internal/core"
+	"rtroute/internal/graph"
+	"rtroute/internal/names"
+	"rtroute/internal/traffic"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the committed trajectory artifact.
+type Report struct {
+	GeneratedAt string   `json:"generated_at"`
+	GoVersion   string   `json:"go_version"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	Results     []Result `json:"results"`
+}
+
+// Run executes the whole canonical suite. Each entry runs through
+// testing.Benchmark (~1s of iterations), so a full run takes on the
+// order of ten seconds.
+func Run() *Report {
+	rep := &Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+	for _, e := range suite() {
+		res := testing.Benchmark(e.fn)
+		r := Result{
+			Name:        e.name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		}
+		if len(res.Extra) > 0 {
+			r.Extra = make(map[string]float64, len(res.Extra))
+			for k, v := range res.Extra {
+				r.Extra[k] = v
+			}
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	return rep
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// Format renders the report as an aligned text table.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "go %s  GOMAXPROCS %d  %s\n\n", r.GoVersion, r.GOMAXPROCS, r.GeneratedAt)
+	fmt.Fprintf(&b, "%-34s %14s %10s %12s  %s\n", "benchmark", "ns/op", "allocs/op", "B/op", "extra")
+	for _, res := range r.Results {
+		var extra []string
+		for k, v := range res.Extra {
+			extra = append(extra, fmt.Sprintf("%s=%.0f", k, v))
+		}
+		fmt.Fprintf(&b, "%-34s %14.1f %10d %12d  %s\n",
+			res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp, strings.Join(extra, " "))
+	}
+	return b.String()
+}
+
+type entry struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// suite builds the canonical benchmark list. Construction (graphs,
+// schemes, compiled planes) happens inside each closure but outside the
+// timed region.
+func suite() []entry {
+	return []entry{
+		{"dijkstra/pooled", BenchDijkstraPooled},
+		{"dijkstra/scratch", BenchDijkstraScratch},
+		{"edgebyport/adversarial", BenchEdgeByPortAdversarial},
+		{"edgebyport/dense", BenchEdgeByPortDense},
+		{"metricbuild/dense-sequential", BenchMetricDenseSequential},
+		{"metricbuild/dense-parallel", BenchMetricDenseParallel},
+		{"metricbuild/lazy-single-row", BenchMetricLazySingleRow},
+		{"traffic/stretch6-workers=1", BenchTrafficSingleWorker},
+	}
+}
+
+func dijkstraGraph() *graph.Graph {
+	rng := rand.New(rand.NewSource(19))
+	return graph.RandomSC(1024, 8192, 16, rng)
+}
+
+func BenchDijkstraPooled(b *testing.B) {
+	g := dijkstraGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := graph.Dijkstra(g, graph.NodeID(i%g.N()))
+		if res.Dist[(i+1)%g.N()] >= graph.Inf {
+			b.Fatal("unreachable in SC graph")
+		}
+	}
+}
+
+func BenchDijkstraScratch(b *testing.B) {
+	g := dijkstraGraph()
+	s := graph.NewSSSPScratch(g.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := s.Dijkstra(g, graph.NodeID(i%g.N()))
+		if res.Dist[(i+1)%g.N()] >= graph.Inf {
+			b.Fatal("unreachable in SC graph")
+		}
+	}
+}
+
+// BenchEdgeByPortAdversarial resolves ports on a graph whose labels were
+// scattered over [0, 4n) by AssignPorts: the open-addressed path.
+func BenchEdgeByPortAdversarial(b *testing.B) {
+	rng := rand.New(rand.NewSource(33))
+	g := graph.RandomSC(1024, 16*1024, 8, rng)
+	benchEdgeByPort(b, g)
+}
+
+// BenchEdgeByPortDense resolves ports on a graph with the default
+// contiguous per-node labels: the flat dense-table path.
+func BenchEdgeByPortDense(b *testing.B) {
+	rng := rand.New(rand.NewSource(33))
+	adv := graph.RandomSC(1024, 16*1024, 8, rng)
+	// Same topology, default contiguous labels (AddEdge order).
+	g := graph.New(adv.N())
+	for u := 0; u < adv.N(); u++ {
+		for _, e := range adv.Out(graph.NodeID(u)) {
+			g.MustAddEdge(graph.NodeID(u), e.To, e.Weight)
+		}
+	}
+	benchEdgeByPort(b, g)
+}
+
+// benchEdgeByPort probes the public per-hop surface (Graph.EdgeByPort,
+// including its per-call index load) so the rows stay comparable with
+// the historical BenchmarkEdgeByPort trajectory; the PortTable-hoisted
+// path is what the traffic row measures end-to-end.
+func benchEdgeByPort(b *testing.B, g *graph.Graph) {
+	n := g.N()
+	probes := make([]struct {
+		u graph.NodeID
+		p graph.PortID
+	}, n)
+	for u := 0; u < n; u++ {
+		edges := g.Out(graph.NodeID(u))
+		probes[u].u = graph.NodeID(u)
+		probes[u].p = edges[len(edges)-1].Port
+	}
+	g.Seal()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr := probes[i%n]
+		if _, ok := g.EdgeByPort(pr.u, pr.p); !ok {
+			b.Fatal("probe port missing")
+		}
+	}
+}
+
+func metricGraph() *graph.Graph {
+	rng := rand.New(rand.NewSource(31))
+	return graph.RandomSC(512, 2048, 8, rng)
+}
+
+func BenchMetricDenseSequential(b *testing.B) {
+	g := metricGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m := graph.AllPairsSequential(g); m.N() != g.N() {
+			b.Fatal("bad metric")
+		}
+	}
+}
+
+func BenchMetricDenseParallel(b *testing.B) {
+	g := metricGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m := graph.AllPairs(g); m.N() != g.N() {
+			b.Fatal("bad metric")
+		}
+	}
+}
+
+// BenchMetricLazyFullSweep drives the lazy oracle through a full 2n-row
+// sweep at a 64-row cache — the worst case a scheme build can demand of
+// it. Not part of the JSON suite; bench_test.go delegates here.
+func BenchMetricLazyFullSweep(b *testing.B) {
+	g := metricGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := graph.NewLazyOracle(g, 64)
+		var sink graph.Dist
+		for u := 0; u < g.N(); u++ {
+			sink += o.FromSource(graph.NodeID(u))[0] + o.ToSink(graph.NodeID(u))[0]
+		}
+		if sink < 0 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+func BenchMetricLazySingleRow(b *testing.B) {
+	g := metricGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := graph.NewLazyOracle(g, 2)
+		if o.FromSource(graph.NodeID(i % g.N()))[0] < 0 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+// BenchTrafficSingleWorker is the single-worker serving benchmark: one compiled
+// StretchSix plane, Zipf workload, one roundtrip per iteration.
+func BenchTrafficSingleWorker(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 256
+	g := graph.RandomSC(n, 4*n, 8, rng)
+	m := graph.AllPairs(g)
+	perm := names.Random(n, rng)
+	s6, err := core.NewStretchSix(g, m, perm, rand.New(rand.NewSource(1)), core.Stretch6Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := traffic.Compile(s6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	res, err := traffic.Run(pl, traffic.Config{
+		Workers:  1,
+		Packets:  int64(b.N),
+		Seed:     1,
+		Workload: traffic.Spec{Kind: traffic.Zipf},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.PacketsPerSec(), "packets/s")
+	b.ReportMetric(res.HopsPerSec(), "hops/s")
+}

@@ -469,6 +469,22 @@ func (s *ExStretch) NewHeader(srcName, dstName int32) (sim.Header, error) {
 	return &exHeader{Mode: ModeNewPacket, DestName: dstName}, nil
 }
 
+// ResetHeader implements sim.Plane: rewrite an earlier header in place
+// into a fresh Fig. 6 outbound header. The waypoint stack keeps its
+// capacity, so a reused header stops allocating once it has seen a
+// k-waypoint route.
+func (s *ExStretch) ResetHeader(h sim.Header, srcName, dstName int32) error {
+	hh, ok := h.(*exHeader)
+	if !ok {
+		return fmt.Errorf("core: exstretch got %T header", h)
+	}
+	if dstName < 0 || int(dstName) >= s.perm.N() {
+		return fmt.Errorf("core: destination name %d outside [0,%d)", dstName, s.perm.N())
+	}
+	*hh = exHeader{Mode: ModeNewPacket, DestName: dstName, Stack: hh.Stack[:0]}
+	return nil
+}
+
 // BeginReturn implements sim.Plane.
 func (s *ExStretch) BeginReturn(h sim.Header) error {
 	hh, ok := h.(*exHeader)

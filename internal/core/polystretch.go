@@ -340,6 +340,20 @@ func (s *PolynomialStretch) NewHeader(srcName, dstName int32) (sim.Header, error
 	return &polyHeader{Mode: ModeNewPacket, DestName: dstName}, nil
 }
 
+// ResetHeader implements sim.Plane: rewrite an earlier header in place
+// into a fresh Fig. 11 outbound header, allocating nothing.
+func (s *PolynomialStretch) ResetHeader(h sim.Header, srcName, dstName int32) error {
+	hh, ok := h.(*polyHeader)
+	if !ok {
+		return fmt.Errorf("core: polystretch got %T header", h)
+	}
+	if dstName < 0 || int(dstName) >= s.perm.N() {
+		return fmt.Errorf("core: destination name %d outside [0,%d)", dstName, s.perm.N())
+	}
+	*hh = polyHeader{Mode: ModeNewPacket, DestName: dstName}
+	return nil
+}
+
 // BeginReturn implements sim.Plane.
 func (s *PolynomialStretch) BeginReturn(h sim.Header) error {
 	hh, ok := h.(*polyHeader)

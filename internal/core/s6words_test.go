@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"rtroute/internal/graph"
+	"rtroute/internal/names"
+	"rtroute/internal/sim"
+)
+
+// wordsCheckingForwarder wraps a StretchSix and compares the header's
+// cached Words against the recomputed reference after every hop.
+type wordsCheckingForwarder struct {
+	t *testing.T
+	s *StretchSix
+}
+
+func (f wordsCheckingForwarder) Forward(at graph.NodeID, h sim.Header) (graph.PortID, bool, error) {
+	port, delivered, err := f.s.Forward(at, h)
+	hh := h.(*s6Header)
+	if got, want := hh.Words(), hh.wordsRecomputed(); got != want {
+		f.t.Fatalf("at node %d (mode %v stage %v): cached Words %d != recomputed %d",
+			at, hh.Mode, hh.Stage, got, want)
+	}
+	return port, delivered, err
+}
+
+// TestS6HeaderWordsCacheConsistent drives full roundtrips — including
+// the via-source variant, whose Fetched stages exercise every cached
+// component — and asserts the cached word count never drifts from the
+// reference implementation.
+func TestS6HeaderWordsCacheConsistent(t *testing.T) {
+	const n = 32
+	for _, viaSource := range []bool{false, true} {
+		rng := rand.New(rand.NewSource(31))
+		g := graph.RandomSC(n, 4*n, 6, rng)
+		m := graph.AllPairs(g)
+		perm := names.Random(n, rng)
+		s6, err := NewStretchSix(g, m, perm, rng, Stretch6Config{ViaSource: viaSource})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := wordsCheckingForwarder{t: t, s: s6}
+		for src := int32(0); src < n; src++ {
+			dst := (src*11 + 5) % n
+			if src == dst {
+				continue
+			}
+			h, err := s6.NewHeader(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := h.Words(), h.(*s6Header).wordsRecomputed(); got != want {
+				t.Fatalf("fresh header: cached Words %d != recomputed %d", got, want)
+			}
+			if _, err := sim.Run(g, f, s6.NodeOf(src), h, 0); err != nil {
+				t.Fatalf("outbound (%d,%d) via-source=%v: %v", src, dst, viaSource, err)
+			}
+			if err := s6.BeginReturn(h); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sim.Run(g, f, s6.NodeOf(dst), h, 0); err != nil {
+				t.Fatalf("return (%d,%d) via-source=%v: %v", src, dst, viaSource, err)
+			}
+			if err := s6.ResetHeader(h, src, dst); err != nil {
+				t.Fatal(err)
+			}
+			if got, want := h.Words(), h.(*s6Header).wordsRecomputed(); got != want {
+				t.Fatalf("reset header: cached Words %d != recomputed %d", got, want)
+			}
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"rtroute/internal/parallel"
 	"rtroute/internal/rtmetric"
 	"rtroute/internal/rtz"
+	"rtroute/internal/sealed"
 	"rtroute/internal/sim"
 )
 
@@ -37,7 +38,11 @@ type s6Table struct {
 	selfName int32
 	ownLabel rtz.Label
 	// labels merges storage items (1) and (3): destination name -> R3.
+	// Builder state only: sealLabels compiles it into the probe table
+	// the forwarding hot path reads and then drops the map, so a
+	// long-lived serving plane does not hold the dictionary twice.
 	labels map[int32]rtz.Label
+	lbl    sealed.Table[rtz.Label]
 	// blockHolder is storage item (2): block id -> name of a
 	// neighborhood node holding that block.
 	blockHolder []int32
@@ -47,9 +52,28 @@ type s6Table struct {
 	neighborEntries int // size of (1), for accounting
 }
 
+// sealLabels compiles the labels map into the probe table and releases
+// the builder map.
+func (t *s6Table) sealLabels() {
+	t.lbl = sealed.Compile(t.labels)
+	t.labels = nil
+}
+
+// label resolves a destination name against the sealed dictionary.
+func (t *s6Table) label(name int32) (rtz.Label, bool) {
+	if !t.lbl.Built() {
+		l, ok := t.labels[name]
+		return l, ok
+	}
+	return t.lbl.Get(name)
+}
+
 func (t *s6Table) words() int {
 	w := 2 + t.ownLabel.Words() + t.tab3.Words() + 2*len(t.blockHolder)
-	for _, l := range t.labels {
+	t.lbl.Range(func(_ int32, l rtz.Label) {
+		w += 1 + l.Words()
+	})
+	for _, l := range t.labels { // unsealed builder state, if any
 		w += 1 + l.Words()
 	}
 	return w
@@ -77,10 +101,46 @@ type s6Header struct {
 	Fetched  rtz.Label // R3(t) fetched at w (ViaSource variant only)
 	Leg      rtz.Header
 	LegSet   bool
+
+	// Cached word counts of Leg, SrcLabel and Fetched. The header is
+	// measured on every hop but rewritten only at waypoints, so Words
+	// must not re-walk the label structures per hop; setLeg/setSrcLabel/
+	// setFetched keep the caches in step (locked by
+	// TestS6HeaderWordsCacheConsistent).
+	legW, srcW, fetchedW int32
+}
+
+func (h *s6Header) setLeg(l rtz.Header) {
+	h.Leg = l
+	h.legW = int32(l.Words())
+	h.LegSet = true
+}
+
+func (h *s6Header) setSrcLabel(l rtz.Label) {
+	h.SrcLabel = l
+	h.srcW = int32(l.Words())
+}
+
+func (h *s6Header) setFetched(l rtz.Label) {
+	h.Fetched = l
+	h.fetchedW = int32(l.Words())
 }
 
 // Words implements sim.Header.
 func (h *s6Header) Words() int {
+	w := 6 + int(h.legW)
+	if h.Mode >= ModeOutbound {
+		w += int(h.srcW)
+	}
+	if h.Stage == s6StageFetchReturn || h.Stage == s6StageFinal {
+		w += int(h.fetchedW)
+	}
+	return w
+}
+
+// wordsRecomputed is the reference implementation of Words, re-deriving
+// every cached component; the cache-consistency test compares the two.
+func (h *s6Header) wordsRecomputed() int {
 	w := 6 + h.Leg.Words()
 	if h.Mode >= ModeOutbound {
 		w += h.SrcLabel.Words()
@@ -180,6 +240,7 @@ func NewStretchSix(g *graph.Graph, m graph.DistanceOracle, perm *names.Permutati
 				tab.labels[nm] = sub.LabelOf(graph.NodeID(v))
 			}
 		}
+		tab.sealLabels()
 		s.nodes[u] = tab
 		return nil
 	})
@@ -210,13 +271,13 @@ func (s *StretchSix) Forward(at graph.NodeID, header sim.Header) (graph.PortID, 
 	case ModeNewPacket:
 		h.Mode = ModeOutbound
 		h.SrcName = nx
-		h.SrcLabel = tab.ownLabel
+		h.setSrcLabel(tab.ownLabel)
 		h.DictName = -1
 		if h.DestName == nx {
 			return 0, true, nil
 		}
-		if lbl, ok := tab.labels[h.DestName]; ok {
-			h.Leg = rtz.Header{Dest: lbl.Node, Label: lbl, Phase: rtz.PhaseSeek}
+		if lbl, ok := tab.label(h.DestName); ok {
+			h.setLeg(rtz.Header{Dest: lbl.Node, Label: lbl, Phase: rtz.PhaseSeek})
 		} else {
 			if h.DestName < 0 || int(h.DestName) >= s.uni.N {
 				return 0, false, fmt.Errorf("core: destination name %d outside the name space [0,%d)", h.DestName, s.uni.N)
@@ -225,7 +286,7 @@ func (s *StretchSix) Forward(at graph.NodeID, header sim.Header) (graph.PortID, 
 			if holder < 0 {
 				return 0, false, fmt.Errorf("core: no dictionary holder for name %d at source %d", h.DestName, nx)
 			}
-			lbl, ok := tab.labels[holder]
+			lbl, ok := tab.label(holder)
 			if !ok {
 				return 0, false, fmt.Errorf("core: holder %d for name %d not in neighborhood table of %d", holder, h.DestName, nx)
 			}
@@ -233,17 +294,15 @@ func (s *StretchSix) Forward(at graph.NodeID, header sim.Header) (graph.PortID, 
 			if s.viaSource {
 				h.Stage = s6StageFetch
 			}
-			h.Leg = rtz.Header{Dest: lbl.Node, Label: lbl, Phase: rtz.PhaseSeek}
+			h.setLeg(rtz.Header{Dest: lbl.Node, Label: lbl, Phase: rtz.PhaseSeek})
 		}
-		h.LegSet = true
 
 	case ModeReturnPacket:
 		h.Mode = ModeInbound
 		if nx == h.SrcName {
 			return 0, true, nil
 		}
-		h.Leg = rtz.Header{Dest: h.SrcLabel.Node, Label: h.SrcLabel, Phase: rtz.PhaseSeek}
-		h.LegSet = true
+		h.setLeg(rtz.Header{Dest: h.SrcLabel.Node, Label: h.SrcLabel, Phase: rtz.PhaseSeek})
 
 	case ModeOutbound:
 		switch {
@@ -251,23 +310,23 @@ func (s *StretchSix) Forward(at graph.NodeID, header sim.Header) (graph.PortID, 
 			return 0, true, nil
 		case nx == h.DictName:
 			// Remote dictionary lookup (Fig. 3's DictID branch).
-			lbl, ok := tab.labels[h.DestName]
+			lbl, ok := tab.label(h.DestName)
 			if !ok {
 				return 0, false, fmt.Errorf("core: dictionary node %d lacks entry for %d", nx, h.DestName)
 			}
 			h.DictName = -1
 			if h.Stage == s6StageFetch {
 				// §2.2 variant: carry R3(t) back to the source first.
-				h.Fetched = lbl
+				h.setFetched(lbl)
 				h.Stage = s6StageFetchReturn
-				h.Leg = rtz.Header{Dest: h.SrcLabel.Node, Label: h.SrcLabel, Phase: rtz.PhaseSeek}
+				h.setLeg(rtz.Header{Dest: h.SrcLabel.Node, Label: h.SrcLabel, Phase: rtz.PhaseSeek})
 			} else {
-				h.Leg = rtz.Header{Dest: lbl.Node, Label: lbl, Phase: rtz.PhaseSeek}
+				h.setLeg(rtz.Header{Dest: lbl.Node, Label: lbl, Phase: rtz.PhaseSeek})
 			}
 		case nx == h.SrcName && h.Stage == s6StageFetchReturn:
 			// Back at the source with the fetched address: head to t.
 			h.Stage = s6StageFinal
-			h.Leg = rtz.Header{Dest: h.Fetched.Node, Label: h.Fetched, Phase: rtz.PhaseSeek}
+			h.setLeg(rtz.Header{Dest: h.Fetched.Node, Label: h.Fetched, Phase: rtz.PhaseSeek})
 		}
 
 	case ModeInbound:
@@ -302,7 +361,24 @@ func (s *StretchSix) NewHeader(srcName, dstName int32) (sim.Header, error) {
 	if dstName < 0 || int(dstName) >= s.perm.N() {
 		return nil, fmt.Errorf("core: destination name %d outside [0,%d)", dstName, s.perm.N())
 	}
-	return &s6Header{Mode: ModeNewPacket, DestName: dstName, DictName: -1}, nil
+	h := &s6Header{Mode: ModeNewPacket, DestName: dstName, DictName: -1}
+	h.legW = int32(h.Leg.Words())
+	return h, nil
+}
+
+// ResetHeader implements sim.Plane: rewrite an earlier header in place
+// into a fresh Fig. 3 outbound header, allocating nothing.
+func (s *StretchSix) ResetHeader(h sim.Header, srcName, dstName int32) error {
+	hh, ok := h.(*s6Header)
+	if !ok {
+		return fmt.Errorf("core: stretch-6 got %T header", h)
+	}
+	if dstName < 0 || int(dstName) >= s.perm.N() {
+		return fmt.Errorf("core: destination name %d outside [0,%d)", dstName, s.perm.N())
+	}
+	*hh = s6Header{Mode: ModeNewPacket, DestName: dstName, DictName: -1}
+	hh.legW = int32(hh.Leg.Words())
+	return nil
 }
 
 // BeginReturn implements sim.Plane: flip the delivered outbound header

@@ -54,14 +54,16 @@ func Pairs(n, limit int, rng *rand.Rand) [][2]graph.NodeID {
 	return out
 }
 
-// MeasureRoundtrips drives the given roundtrip function over the pairs
-// and reports stretch statistics against the metric.
-func MeasureRoundtrips(m graph.DistanceOracle, perm *names.Permutation, rt RoundtripFunc, pairs [][2]graph.NodeID) (StretchStats, error) {
+// measureStretch drives route over the pairs and accumulates the
+// statistics shared by MeasureRoundtrips and MeasureFlights: route
+// returns one roundtrip's total weight and peak header words.
+func measureStretch(m graph.DistanceOracle, pairs [][2]graph.NodeID,
+	route func(u, v graph.NodeID) (graph.Dist, int, error)) (StretchStats, error) {
 	var stats StretchStats
 	stretches := make([]float64, 0, len(pairs))
 	var sum float64
 	for _, p := range pairs {
-		trace, err := rt(perm.Name(int32(p[0])), perm.Name(int32(p[1])))
+		weight, headerWords, err := route(p[0], p[1])
 		if err != nil {
 			return stats, fmt.Errorf("eval: pair (%d,%d): %w", p[0], p[1], err)
 		}
@@ -69,14 +71,14 @@ func MeasureRoundtrips(m graph.DistanceOracle, perm *names.Permutation, rt Round
 		if r <= 0 {
 			return stats, fmt.Errorf("eval: degenerate roundtrip distance for (%d,%d)", p[0], p[1])
 		}
-		s := float64(trace.Weight()) / float64(r)
+		s := float64(weight) / float64(r)
 		stretches = append(stretches, s)
 		sum += s
 		if s > stats.Max {
 			stats.Max = s
 		}
-		if hw := trace.MaxHeaderWords(); hw > stats.MaxHeaderWords {
-			stats.MaxHeaderWords = hw
+		if headerWords > stats.MaxHeaderWords {
+			stats.MaxHeaderWords = headerWords
 		}
 	}
 	stats.Pairs = len(pairs)
@@ -86,6 +88,41 @@ func MeasureRoundtrips(m graph.DistanceOracle, perm *names.Permutation, rt Round
 		stats.P99 = Percentile(stretches, 99)
 	}
 	return stats, nil
+}
+
+// MeasureRoundtrips drives the given roundtrip function over the pairs
+// and reports stretch statistics against the metric.
+func MeasureRoundtrips(m graph.DistanceOracle, perm *names.Permutation, rt RoundtripFunc, pairs [][2]graph.NodeID) (StretchStats, error) {
+	return measureStretch(m, pairs, func(u, v graph.NodeID) (graph.Dist, int, error) {
+		trace, err := rt(perm.Name(int32(u)), perm.Name(int32(v)))
+		if err != nil {
+			return 0, 0, err
+		}
+		return trace.Weight(), trace.MaxHeaderWords(), nil
+	})
+}
+
+// MeasureFlights is MeasureRoundtrips on the allocation-lean runner: it
+// drives the pairs through the plane with one reused header and no
+// per-hop path recording (the traffic engine's hot-path discipline), so
+// measuring a large pair set costs O(1) headers instead of one trace per
+// pair. Routes — and therefore every reported statistic — are identical
+// to MeasureRoundtrips over the scheme's Roundtrip.
+func MeasureFlights(m graph.DistanceOracle, perm *names.Permutation, p sim.Plane, pairs [][2]graph.NodeID) (StretchStats, error) {
+	var hdr sim.Header
+	return measureStretch(m, pairs, func(u, v graph.NodeID) (graph.Dist, int, error) {
+		var out, back sim.Flight
+		var err error
+		out, back, hdr, err = sim.RoundtripFlightReusing(p, hdr, perm.Name(int32(u)), perm.Name(int32(v)), 0)
+		if err != nil {
+			return 0, 0, err
+		}
+		hw := out.MaxHeaderWords
+		if back.MaxHeaderWords > hw {
+			hw = back.MaxHeaderWords
+		}
+		return out.Weight + back.Weight, hw, nil
+	})
 }
 
 // Row is one line of the Fig. 1 comparison table, augmented with

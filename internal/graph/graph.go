@@ -11,9 +11,10 @@
 //
 // Storage model: adjacency is built incrementally as per-node edge slices
 // (the only mutable representation), and the first port/pair lookup seals
-// a CSR index over it — flat edge arrays with offset tables, a per-node
-// port→slot order, and an (u,v)→slot hash — so the per-hop hot path
-// (EdgeByPort, PortTo, HasEdge) costs O(log degree) / O(1) instead of an
+// a CSR index over it — flat edge arrays with offset tables, per-node
+// O(1) port tables (flat dense or open-addressed, with a binary-searched
+// sorted order as fallback), and an (u,v)→slot hash — so the per-hop hot
+// path (EdgeByPort, PortTo, HasEdge) costs O(1) instead of an
 // O(degree) scan. Mutations invalidate the index; it is rebuilt lazily and
 // concurrency-safely on the next lookup. Mutating a graph concurrently
 // with reads is not safe (like the built-in map); concurrent reads,
@@ -26,6 +27,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"rtroute/internal/sealed"
 )
 
 // Dist is an exact (integer) path length. Roundtrip distances, cluster
@@ -62,8 +65,8 @@ type InEdge struct {
 func pairKey(u, v NodeID) uint64 { return uint64(uint32(u))<<32 | uint64(uint32(v)) }
 
 // csrIndex is the sealed lookup index: the adjacency flattened into CSR
-// arrays plus a per-node port-sorted order for binary-searched port
-// resolution. It is immutable once published.
+// arrays plus O(1) per-node port tables (with a binary-searched sorted
+// order as the fallback). It is immutable once published.
 type csrIndex struct {
 	outStart []int32 // len n+1; out-edges of u are outEdges[outStart[u]:outStart[u+1]]
 	outEdges []Edge  // flat copy, same per-node slot order as the build slices
@@ -71,10 +74,37 @@ type csrIndex struct {
 	inEdges  []InEdge
 	// portPorts[outStart[u]+i] is the i-th smallest port label at u and
 	// portSlot[outStart[u]+i] the slot (index into u's out-edge segment)
-	// carrying it: EdgeByPort binary-searches the segment.
+	// carrying it: the fallback path binary-searches the segment.
 	portPorts []PortID
 	portSlot  []int32
+
+	// O(1) port resolution, compiled at seal time. A node whose label
+	// span (max-min+1) is close to its degree gets a flat dense table —
+	// one array load per hop, the common case for default contiguous
+	// labels; every other node with out-edges gets a sealed
+	// open-addressed hash (power-of-two segment, linear probing, load
+	// factor <= 1/2) so adversarially scattered labels are O(1) expected
+	// too. Slot values are stored +1 so that 0 means "no edge".
+	denseBase  []PortID // len n: smallest port label at u (dense nodes)
+	denseStart []int32  // len n+1, offsets into denseSlot; empty segment = not dense
+	denseSlot  []int32  // port - base -> slot+1, 0 = hole
+	hashStart  []int32  // len n+1, offsets into hashKey/hashSlot; pow2 segments
+	hashKey    []PortID
+	hashSlot   []int32 // slot+1, 0 = empty
 }
+
+// denseSpanOK reports whether a node with the given degree and port
+// label span should be compiled as a flat dense table. The 4x+8 bound
+// caps the dense tables' total memory at a small multiple of the edge
+// count while still accepting contiguous and lightly gapped labelings.
+// The span is computed in int64: extreme labels restored by the graph
+// reader can make max-min+1 overflow int32.
+func denseSpanOK(span int64, deg int32) bool { return span <= 4*int64(deg)+8 }
+
+// portHash spreads a port label for the open-addressed segments. Unlike
+// the non-negative id spaces sealed.Hash serves elsewhere, port labels
+// may be any int32, so hash the raw bit pattern the same way.
+func portHash(p PortID) uint32 { return sealed.Hash(p) }
 
 // Graph is a directed graph with positive weights and fixed-port labels.
 // The zero value is an empty graph; use New to create one with n nodes.
@@ -162,8 +192,135 @@ func (g *Graph) index() *csrIndex {
 			idx.portPorts[int(lo)+i] = edges[s].Port
 		}
 	}
+	idx.compilePortTables(n)
 	g.idx.Store(idx)
 	return idx
+}
+
+// compilePortTables builds the O(1) port-resolution tables over the
+// already-populated CSR arrays.
+func (idx *csrIndex) compilePortTables(n int) {
+	idx.denseBase = make([]PortID, n)
+	idx.denseStart = make([]int32, n+1)
+	idx.hashStart = make([]int32, n+1)
+	// Size both flat stores in one pass, then fill.
+	for u := 0; u < n; u++ {
+		idx.denseStart[u+1] = idx.denseStart[u]
+		idx.hashStart[u+1] = idx.hashStart[u]
+		lo, hi := idx.outStart[u], idx.outStart[u+1]
+		deg := hi - lo
+		if deg == 0 {
+			continue
+		}
+		minP, maxP := idx.outEdges[lo].Port, idx.outEdges[lo].Port
+		for _, e := range idx.outEdges[lo+1 : hi] {
+			if e.Port < minP {
+				minP = e.Port
+			}
+			if e.Port > maxP {
+				maxP = e.Port
+			}
+		}
+		span := int64(maxP) - int64(minP) + 1
+		idx.denseBase[u] = minP
+		if denseSpanOK(span, deg) {
+			idx.denseStart[u+1] += int32(span)
+		} else {
+			size := int32(2)
+			for size < 2*deg {
+				size <<= 1
+			}
+			idx.hashStart[u+1] += size
+		}
+	}
+	idx.denseSlot = make([]int32, idx.denseStart[n])
+	idx.hashKey = make([]PortID, idx.hashStart[n])
+	idx.hashSlot = make([]int32, idx.hashStart[n])
+	for u := 0; u < n; u++ {
+		lo, hi := idx.outStart[u], idx.outStart[u+1]
+		if ds, de := idx.denseStart[u], idx.denseStart[u+1]; de > ds {
+			base := int32(idx.denseBase[u])
+			for slot := lo; slot < hi; slot++ {
+				idx.denseSlot[ds+int32(idx.outEdges[slot].Port)-base] = slot - lo + 1
+			}
+			continue
+		}
+		hs, he := idx.hashStart[u], idx.hashStart[u+1]
+		if he == hs {
+			continue
+		}
+		mask := uint32(he-hs) - 1
+		for slot := lo; slot < hi; slot++ {
+			p := idx.outEdges[slot].Port
+			i := portHash(p) & mask
+			for idx.hashSlot[hs+int32(i)] != 0 {
+				i = (i + 1) & mask
+			}
+			idx.hashKey[hs+int32(i)] = p
+			idx.hashSlot[hs+int32(i)] = slot - lo + 1
+		}
+	}
+}
+
+// edgeByPort resolves (u, port) against the sealed tables: dense, then
+// hashed, then the binary-search fallback.
+func (idx *csrIndex) edgeByPort(u NodeID, port PortID) (Edge, bool) {
+	lo := idx.outStart[u]
+	if ds, de := idx.denseStart[u], idx.denseStart[u+1]; de > ds {
+		off := int32(port) - int32(idx.denseBase[u])
+		if off < 0 || off >= de-ds {
+			return Edge{}, false
+		}
+		s := idx.denseSlot[ds+off]
+		if s == 0 {
+			return Edge{}, false
+		}
+		return idx.outEdges[lo+s-1], true
+	}
+	if hs, he := idx.hashStart[u], idx.hashStart[u+1]; he > hs {
+		mask := uint32(he-hs) - 1
+		for i := portHash(port) & mask; ; i = (i + 1) & mask {
+			s := idx.hashSlot[hs+int32(i)]
+			if s == 0 {
+				return Edge{}, false
+			}
+			if idx.hashKey[hs+int32(i)] == port {
+				return idx.outEdges[lo+s-1], true
+			}
+		}
+	}
+	return idx.edgeByPortBinary(u, port)
+}
+
+// edgeByPortBinary is the pre-compilation lookup: binary search over the
+// node's port-sorted slot order. Kept as the fallback for nodes without a
+// compiled table and as the reference the property tests compare the O(1)
+// tables against.
+func (idx *csrIndex) edgeByPortBinary(u NodeID, port PortID) (Edge, bool) {
+	lo, hi := int(idx.outStart[u]), int(idx.outStart[u+1])
+	ports := idx.portPorts[lo:hi]
+	i := sort.Search(len(ports), func(i int) bool { return ports[i] >= port })
+	if i < len(ports) && ports[i] == port {
+		return idx.outEdges[lo+int(idx.portSlot[lo+i])], true
+	}
+	return Edge{}, false
+}
+
+// PortTable is an immutable snapshot of a sealed graph's port-resolution
+// index. Hot forwarding loops take one per run so every hop is a direct
+// table lookup with no per-hop atomic index load. Taking a PortTable
+// seals the graph; mutations made afterwards are not reflected in the
+// snapshot (the next PortTable call returns the rebuilt index).
+type PortTable struct{ idx *csrIndex }
+
+// PortTable returns the sealed port-resolution snapshot, building the
+// index if needed.
+func (g *Graph) PortTable() PortTable { return PortTable{idx: g.index()} }
+
+// EdgeByPort returns the out-edge of u labeled with the given port in
+// O(1) (dense or hashed table; binary-search fallback).
+func (t PortTable) EdgeByPort(u NodeID, port PortID) (Edge, bool) {
+	return t.idx.edgeByPort(u, port)
 }
 
 // AddEdge inserts the directed edge (u, v) with weight w. The edge's port
@@ -230,17 +387,12 @@ func (g *Graph) OutDegree(u NodeID) int { return len(g.out[u]) }
 
 // EdgeByPort returns the out-edge of u labeled with the given port.
 // This is the only lookup a forwarding function may use to move a packet:
-// routing tables store ports, and the simulator resolves them here. It
-// binary-searches the sealed port order: O(log degree) per hop.
+// routing tables store ports, and the simulator resolves them here. On a
+// sealed graph it is O(1): one array load for dense labelings, an
+// open-addressed probe for scattered ones. Loops that resolve many ports
+// should hoist g.PortTable() and query that instead.
 func (g *Graph) EdgeByPort(u NodeID, port PortID) (Edge, bool) {
-	idx := g.index()
-	lo, hi := int(idx.outStart[u]), int(idx.outStart[u+1])
-	ports := idx.portPorts[lo:hi]
-	i := sort.Search(len(ports), func(i int) bool { return ports[i] >= port })
-	if i < len(ports) && ports[i] == port {
-		return idx.outEdges[lo+int(idx.portSlot[lo+i])], true
-	}
-	return Edge{}, false
+	return g.index().edgeByPort(u, port)
 }
 
 // PortTo returns the port label of the edge (u, v) in O(1).

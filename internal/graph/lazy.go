@@ -142,11 +142,17 @@ func (o *LazyOracle) row(key rowKey) []Dist {
 	}
 	o.mu.Unlock()
 
+	// Pooled scratch: the only allocation a row fill retains is the
+	// cached row itself.
+	s := getScratch()
+	var r SSSP
 	if key.rev {
-		e.dist = DijkstraRev(o.g, key.node).Dist
+		r = s.DijkstraRev(o.g, key.node)
 	} else {
-		e.dist = Dijkstra(o.g, key.node).Dist
+		r = s.Dijkstra(o.g, key.node)
 	}
+	e.dist = append([]Dist(nil), r.Dist...)
+	putScratch(s)
 	close(e.ready)
 	return e.dist
 }

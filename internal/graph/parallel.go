@@ -26,8 +26,11 @@ func AllPairsParallel(g *Graph, workers int) *Metric {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One scratch per worker: every row after the first is a
+			// zero-allocation Dijkstra plus one owned-row copy.
+			s := NewSSSPScratch(n)
 			for u := range src {
-				m.d[u] = Dijkstra(g, NodeID(u)).Dist
+				m.d[u] = append([]Dist(nil), s.Dijkstra(g, NodeID(u)).Dist...)
 			}
 		}()
 	}

@@ -1,0 +1,7 @@
+//go:build race
+
+package graph
+
+// raceEnabled skips allocation-count assertions under the race detector,
+// whose instrumentation changes allocation behavior.
+const raceEnabled = true

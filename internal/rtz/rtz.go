@@ -40,6 +40,7 @@ import (
 	"math/rand"
 
 	"rtroute/internal/graph"
+	"rtroute/internal/sealed"
 	"rtroute/internal/tree"
 )
 
@@ -85,13 +86,59 @@ type Table struct {
 	InPorts    []graph.PortID // next-hop port toward each center
 	TreeStates []tree.State   // O(1) routing state in each center's out-tree
 	// Direct maps destination -> first-hop port of a shortest path, for
-	// every destination whose cluster contains this node.
+	// every destination whose cluster contains this node. Builder state
+	// only: Seal compiles it into the probe table the forwarding hot
+	// path reads and then drops the map, so a long-lived serving plane
+	// does not hold the cluster entries twice. Read entries through
+	// DirectPort / DirectEntries, which serve sealed and unsealed
+	// (hand-built) tables alike.
 	Direct map[graph.NodeID]graph.PortID
+	direct sealed.Table[graph.PortID]
 }
 
 // Words returns the table size in machine words (the O~(sqrt n) of §2.1).
 func (t *Table) Words() int {
-	return 1 + len(t.InPorts) + 5*len(t.TreeStates) + 2*len(t.Direct)
+	n := len(t.Direct)
+	if t.direct.Built() {
+		n = t.direct.Len()
+	}
+	return 1 + len(t.InPorts) + 5*len(t.TreeStates) + 2*n
+}
+
+// Seal compiles the Direct map into the flat probe table and releases
+// the builder map. New calls it on every table.
+func (t *Table) Seal() {
+	t.direct = sealed.Compile(t.Direct)
+	t.Direct = nil
+}
+
+// DirectPort returns the stored first-hop port toward dst, if any.
+func (t *Table) DirectPort(dst graph.NodeID) (graph.PortID, bool) {
+	if !t.direct.Built() {
+		p, ok := t.Direct[dst]
+		return p, ok
+	}
+	return t.direct.Get(dst)
+}
+
+// DirectEntries calls fn for every stored direct entry, in unspecified
+// order (the introspection hook the property tests use).
+func (t *Table) DirectEntries(fn func(dst graph.NodeID, port graph.PortID)) {
+	if t.direct.Built() {
+		t.direct.Range(func(k int32, p graph.PortID) { fn(k, p) })
+		return
+	}
+	for dst, p := range t.Direct {
+		fn(dst, p)
+	}
+}
+
+// DirectCount returns the number of stored direct entries.
+func (t *Table) DirectCount() int {
+	if t.direct.Built() {
+		return t.direct.Len()
+	}
+	return len(t.Direct)
 }
 
 // Config tunes scheme construction.
@@ -194,6 +241,9 @@ func New(g *graph.Graph, m graph.DistanceOracle, rng *rand.Rand, cfg Config) (*S
 	// destination supplies both the d(·,y) distances and the parents, so
 	// a lazy build pays exactly one reverse SSSP per destination.
 	dense, isDense := m.(*graph.DenseMetric)
+	// One scratch serves every per-destination reverse Dijkstra below;
+	// its rows are consumed within the iteration that computed them.
+	scratch := graph.NewSSSPScratch(n)
 	for y := 0; y < n; y++ {
 		radius := centerRadius[y]
 		yid := graph.NodeID(y)
@@ -205,7 +255,7 @@ func New(g *graph.Graph, m graph.DistanceOracle, rng *rand.Rand, cfg Config) (*S
 		if isDense {
 			toY = dense.ToSink(yid)
 		} else {
-			rev = graph.DijkstraRev(g, yid)
+			rev = scratch.DijkstraRev(g, yid)
 			toY = rev.Dist
 			haveRev = true
 		}
@@ -220,7 +270,7 @@ func New(g *graph.Graph, m graph.DistanceOracle, rng *rand.Rand, cfg Config) (*S
 			continue
 		}
 		if !haveRev {
-			rev = graph.DijkstraRev(g, yid)
+			rev = scratch.DijkstraRev(g, yid)
 		}
 		for _, x := range members {
 			next := rev.Parent[x]
@@ -230,6 +280,9 @@ func New(g *graph.Graph, m graph.DistanceOracle, rng *rand.Rand, cfg Config) (*S
 			}
 			s.Tables[x].Direct[graph.NodeID(y)] = port
 		}
+	}
+	for _, t := range s.Tables {
+		t.Seal()
 	}
 	return s, nil
 }
@@ -251,13 +304,13 @@ func Forward(tab *Table, h *Header) (port graph.PortID, delivered bool, err erro
 	// A direct entry is always safe and optimal from here on: the cluster
 	// is closed under shortest-path subpaths.
 	if h.Phase == PhaseDirect {
-		p, ok := tab.Direct[h.Dest]
+		p, ok := tab.DirectPort(h.Dest)
 		if !ok {
 			return 0, false, fmt.Errorf("rtz: direct-phase packet for %d at %d with no entry (cluster closure violated)", h.Dest, tab.Self)
 		}
 		return p, false, nil
 	}
-	if p, ok := tab.Direct[h.Dest]; ok {
+	if p, ok := tab.DirectPort(h.Dest); ok {
 		h.Phase = PhaseDirect
 		return p, false, nil
 	}

@@ -21,7 +21,7 @@ func TestForwardDirectPhaseClosureViolation(t *testing.T) {
 			if v == y {
 				continue
 			}
-			if _, ok := s.Tables[v].Direct[graph.NodeID(y)]; !ok {
+			if _, ok := s.Tables[v].DirectPort(graph.NodeID(y)); !ok {
 				victim, target = graph.NodeID(v), graph.NodeID(y)
 				break
 			}

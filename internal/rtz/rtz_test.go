@@ -86,32 +86,32 @@ func TestDirectEntriesClusterClosure(t *testing.T) {
 	// the subpath-closure argument made in the package doc.
 	s, g, _ := buildScheme(t, 7, 40, 160, 6)
 	for x := 0; x < g.N(); x++ {
-		for y, port := range s.Tables[x].Direct {
+		s.Tables[x].DirectEntries(func(y graph.NodeID, port graph.PortID) {
 			e, ok := g.EdgeByPort(graph.NodeID(x), port)
 			if !ok {
 				t.Fatalf("direct entry (%d,%d) names missing port %d", x, y, port)
 			}
 			if e.To == y {
-				continue
+				return
 			}
-			if _, ok := s.Tables[e.To].Direct[y]; !ok {
+			if _, ok := s.Tables[e.To].DirectPort(y); !ok {
 				t.Fatalf("cluster closure violated: %d->%d hops to %d which lacks an entry", x, y, e.To)
 			}
-		}
+		})
 	}
 }
 
 func TestDirectEntriesAreShortestFirstHops(t *testing.T) {
 	s, g, m := buildScheme(t, 8, 36, 144, 7)
 	for x := 0; x < g.N(); x++ {
-		for y, port := range s.Tables[x].Direct {
+		s.Tables[x].DirectEntries(func(y graph.NodeID, port graph.PortID) {
 			e, _ := g.EdgeByPort(graph.NodeID(x), port)
 			want := m.D(graph.NodeID(x), y)
 			if e.Weight+m.D(e.To, y) != want {
 				t.Fatalf("direct entry (%d,%d) not on a shortest path: %d + %d != %d",
 					x, y, e.Weight, m.D(e.To, y), want)
 			}
-		}
+		})
 	}
 }
 

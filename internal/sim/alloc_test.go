@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"rtroute/internal/graph"
+)
+
+// TestFlyZeroAllocsPerHop is the hot-path allocation regression gate:
+// once the graph is sealed and the header exists, forwarding a packet
+// allocates nothing — not per hop and not per flight.
+func TestFlyZeroAllocsPerHop(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	g := ringWithPorts(t, 16)
+	g.Seal()
+	h := &hopHeader{ports: make([]graph.PortID, 12)}
+	// Warm up (first PortTable call may seal).
+	if _, err := Fly(g, scriptForwarder{}, 0, h, 0); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		h.pos = 0
+		if _, err := Fly(g, scriptForwarder{}, 0, h, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Fly allocates %.1f times per 12-hop flight, want 0", allocs)
+	}
+}
+
+// poisonHeader panics if its size is read after a failed Forward — the
+// regression guard for the fly() ordering bug where a failed Forward's
+// possibly-invalid header was measured before the error was checked.
+type poisonHeader struct {
+	poisoned bool
+}
+
+func (h *poisonHeader) Words() int {
+	if h.poisoned {
+		panic("sim: header read after failed Forward")
+	}
+	return 1
+}
+
+type poisonForwarder struct{}
+
+func (poisonForwarder) Forward(at graph.NodeID, hdr Header) (graph.PortID, bool, error) {
+	hdr.(*poisonHeader).poisoned = true
+	return 0, false, errBoom
+}
+
+func TestFlyChecksForwardErrorBeforeHeader(t *testing.T) {
+	g := ringWithPorts(t, 3)
+	_, err := Fly(g, poisonForwarder{}, 0, &poisonHeader{}, 0)
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("Forward error not propagated: %v", err)
+	}
+	if _, err := Run(g, poisonForwarder{}, 0, &poisonHeader{}, 0); !errors.Is(err, errBoom) {
+		t.Fatalf("Run: Forward error not propagated: %v", err)
+	}
+}
+
+// fixedToyHeader exercises the FixedSizeHeader fast path: Words must be
+// sampled at least once per leg, and the recorded maximum must match the
+// leg-invariant size.
+type fixedToyHeader struct {
+	hopHeader
+}
+
+func (h *fixedToyHeader) FixedWords() bool { return true }
+func (h *fixedToyHeader) Words() int       { return 1 + len(h.ports) } // leg-invariant
+
+type fixedScriptForwarder struct{}
+
+func (fixedScriptForwarder) Forward(at graph.NodeID, hdr Header) (graph.PortID, bool, error) {
+	h := hdr.(*fixedToyHeader)
+	if h.pos >= len(h.ports) {
+		return 0, true, nil
+	}
+	p := h.ports[h.pos]
+	h.pos++
+	return p, false, nil
+}
+
+func TestFlyFixedSizeHeaderSampledOnce(t *testing.T) {
+	g := ringWithPorts(t, 8)
+	h := &fixedToyHeader{hopHeader{ports: make([]graph.PortID, 5)}}
+	want := h.Words()
+	fl, err := Fly(g, fixedScriptForwarder{}, 0, h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl.MaxHeaderWords != want {
+		t.Fatalf("MaxHeaderWords = %d, want leg-invariant %d", fl.MaxHeaderWords, want)
+	}
+}
+
+// TestRoundtripFlightReusingMatchesFresh locks the reuse contract on the
+// toy plane: a reused header must route exactly like a fresh one.
+func TestRoundtripFlightReusingMatchesFresh(t *testing.T) {
+	p := &ringPlane{g: ringWithPorts(t, 9)}
+	pairs := [][2]int32{{2, 5}, {0, 8}, {7, 1}, {4, 4}, {3, 6}}
+	var hdr Header
+	for _, pr := range pairs {
+		if pr[0] == pr[1] {
+			continue
+		}
+		fo, fb, err := RoundtripFlight(p, pr[0], pr[1], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ro, rb Flight
+		ro, rb, hdr, err = RoundtripFlightReusing(p, hdr, pr[0], pr[1], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ro != fo || rb != fb {
+			t.Fatalf("pair %v: reused %+v/%+v != fresh %+v/%+v", pr, ro, rb, fo, fb)
+		}
+	}
+}

@@ -25,6 +25,16 @@ type Header interface {
 	Words() int
 }
 
+// FixedSizeHeader is an optional Header extension for headers whose
+// Words() cannot change while a leg is in flight (BeginReturn and
+// ResetHeader may still resize it between legs). The runners sample
+// Words once per leg for such headers instead of once per hop.
+type FixedSizeHeader interface {
+	Header
+	// FixedWords reports whether the header's size is leg-invariant.
+	FixedWords() bool
+}
+
 // Forwarder is a routing scheme's local forwarding function
 // F(table(x), header(P)) of §1.1.1. Implementations must only consult
 // the local table of the given node plus the header.
@@ -44,6 +54,13 @@ type Plane interface {
 	// NewHeader returns a fresh outbound header for one roundtrip from
 	// the node named srcName to the node named dstName.
 	NewHeader(srcName, dstName int32) (Header, error)
+	// ResetHeader rewrites h — which must have been produced by an
+	// earlier NewHeader on the SAME plane — into a fresh outbound header
+	// for a new roundtrip, reusing the header's storage. After a
+	// successful reset the header is indistinguishable from a
+	// NewHeader(srcName, dstName) result, so a worker can serve its whole
+	// packet stream with O(1) header allocations.
+	ResetHeader(h Header, srcName, dstName int32) error
 	// BeginReturn flips a delivered outbound header into the return leg
 	// (the acknowledgment that reuses topology learned on the way out).
 	BeginReturn(h Header) error
@@ -92,24 +109,36 @@ func Fly(g *graph.Graph, f Forwarder, src graph.NodeID, h Header, maxHops int) (
 
 // fly is the single forwarding loop behind Run and Fly. When path is
 // non-nil every visited node is appended to it.
+//
+// Per-hop discipline: the port table is hoisted once per leg (no per-hop
+// index loads), a failed Forward is reported before the header is read
+// again (a failing scheme may leave the header in an invalid state), and
+// fixed-size headers are measured once per leg instead of once per hop.
 func fly(g *graph.Graph, f Forwarder, src graph.NodeID, h Header, maxHops int, path *[]graph.NodeID) (Flight, error) {
 	if maxHops <= 0 {
 		maxHops = 4 * g.N()
 	}
+	ports := g.PortTable()
 	fl := Flight{Last: src, MaxHeaderWords: h.Words()}
+	fixed := false
+	if fs, ok := h.(FixedSizeHeader); ok {
+		fixed = fs.FixedWords()
+	}
 	cur := src
 	for {
 		port, delivered, err := f.Forward(cur, h)
-		if w := h.Words(); w > fl.MaxHeaderWords {
-			fl.MaxHeaderWords = w
-		}
 		if err != nil {
 			return fl, fmt.Errorf("sim: forwarding at node %d (hop %d): %w", cur, fl.Hops, err)
+		}
+		if !fixed {
+			if w := h.Words(); w > fl.MaxHeaderWords {
+				fl.MaxHeaderWords = w
+			}
 		}
 		if delivered {
 			return fl, nil
 		}
-		e, ok := g.EdgeByPort(cur, port)
+		e, ok := ports.EdgeByPort(cur, port)
 		if !ok {
 			return fl, fmt.Errorf("sim: node %d has no out-port %d", cur, port)
 		}
@@ -168,32 +197,46 @@ func Roundtrip(p Plane, srcName, dstName int32, maxHops int) (*RoundtripTrace, e
 
 // RoundtripFlight is the allocation-lean roundtrip used on the traffic
 // engine's hot path: same forwarding and delivery validation as
-// Roundtrip, but no per-hop paths are recorded.
+// Roundtrip, but no per-hop paths are recorded. Each call allocates a
+// fresh header; streams of roundtrips should use RoundtripFlightReusing.
 func RoundtripFlight(p Plane, srcName, dstName int32, maxHops int) (out, back Flight, err error) {
-	h, err := p.NewHeader(srcName, dstName)
-	if err != nil {
-		return out, back, fmt.Errorf("sim: header %d->%d: %w", srcName, dstName, err)
+	out, back, _, err = RoundtripFlightReusing(p, nil, srcName, dstName, maxHops)
+	return out, back, err
+}
+
+// RoundtripFlightReusing is RoundtripFlight with the header-reuse
+// contract: pass h == nil on a worker's first roundtrip and the returned
+// header on every subsequent one, so the whole stream costs O(1) header
+// allocations. The header must only be reused against the plane that
+// created it.
+func RoundtripFlightReusing(p Plane, h Header, srcName, dstName int32, maxHops int) (out, back Flight, hdr Header, err error) {
+	if h == nil {
+		if h, err = p.NewHeader(srcName, dstName); err != nil {
+			return out, back, nil, fmt.Errorf("sim: header %d->%d: %w", srcName, dstName, err)
+		}
+	} else if err = p.ResetHeader(h, srcName, dstName); err != nil {
+		return out, back, h, fmt.Errorf("sim: header %d->%d: %w", srcName, dstName, err)
 	}
 	g := p.Graph()
 	src, dst := p.NodeOf(srcName), p.NodeOf(dstName)
 	out, err = Fly(g, p, src, h, maxHops)
 	if err != nil {
-		return out, back, fmt.Errorf("sim: outbound %d->%d: %w", srcName, dstName, err)
+		return out, back, h, fmt.Errorf("sim: outbound %d->%d: %w", srcName, dstName, err)
 	}
 	if out.Last != dst {
-		return out, back, fmt.Errorf("sim: outbound %d->%d delivered at wrong node %d", srcName, dstName, out.Last)
+		return out, back, h, fmt.Errorf("sim: outbound %d->%d delivered at wrong node %d", srcName, dstName, out.Last)
 	}
 	if err = p.BeginReturn(h); err != nil {
-		return out, back, fmt.Errorf("sim: return header %d->%d: %w", srcName, dstName, err)
+		return out, back, h, fmt.Errorf("sim: return header %d->%d: %w", srcName, dstName, err)
 	}
 	back, err = Fly(g, p, dst, h, maxHops)
 	if err != nil {
-		return out, back, fmt.Errorf("sim: return %d->%d: %w", dstName, srcName, err)
+		return out, back, h, fmt.Errorf("sim: return %d->%d: %w", dstName, srcName, err)
 	}
 	if back.Last != src {
-		return out, back, fmt.Errorf("sim: return %d->%d delivered at wrong node %d", dstName, srcName, back.Last)
+		return out, back, h, fmt.Errorf("sim: return %d->%d delivered at wrong node %d", dstName, srcName, back.Last)
 	}
-	return out, back, nil
+	return out, back, h, nil
 }
 
 // RoundtripTrace aggregates the outbound and return legs of a roundtrip.

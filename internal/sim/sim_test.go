@@ -155,6 +155,14 @@ func (p *ringPlane) NewHeader(srcName, dstName int32) (Header, error) {
 	return &ringHeader{src: srcName, dst: dstName, h: hopHeader{ports: make([]graph.PortID, steps)}}, nil
 }
 
+func (p *ringPlane) ResetHeader(h Header, srcName, dstName int32) error {
+	hh := h.(*ringHeader)
+	n := int32(p.g.N())
+	steps := (dstName - srcName + n) % n
+	*hh = ringHeader{src: srcName, dst: dstName, h: hopHeader{ports: make([]graph.PortID, steps)}}
+	return nil
+}
+
 func (p *ringPlane) BeginReturn(h Header) error {
 	hh := h.(*ringHeader)
 	n := int32(p.g.N())

@@ -129,9 +129,14 @@ func Run(pl *Plane, cfg Config) (*Result, error) {
 			if cfg.Oracle != nil {
 				sh.samples = make([]sample, 0, quota/stride+1)
 			}
+			// One header serves the worker's whole stream: the first
+			// roundtrip allocates it, every later one resets it in place.
+			var hdr sim.Header
 			for i := int64(0); i < quota; i++ {
 				src, dst := gen.Next()
-				out, back, err := sim.RoundtripFlight(pl, src, dst, cfg.MaxHops)
+				var out, back sim.Flight
+				var err error
+				out, back, hdr, err = sim.RoundtripFlightReusing(pl, hdr, src, dst, cfg.MaxHops)
 				if err != nil {
 					sh.err = fmt.Errorf("traffic: worker %d packet %d: %w", sh.stats.Worker, i, err)
 					return

@@ -59,6 +59,12 @@ type rtzHeader struct {
 // Words implements sim.Header.
 func (h *rtzHeader) Words() int { return 2 + h.srcLabel.Words() + h.leg.Words() }
 
+// FixedWords implements sim.FixedSizeHeader: the leg is only rewritten
+// between legs (NewHeader/ResetHeader/BeginReturn), and forwarding
+// mutates nothing but the leg's phase, so the size is leg-invariant and
+// the runners need not re-measure it on every hop.
+func (h *rtzHeader) FixedWords() bool { return true }
+
 // RTZPlane adapts the name-dependent RTZ stretch-3 substrate to the
 // sim.Plane contract, so the traffic engine can serve it as a baseline
 // next to the TINN schemes. The adapter resolves a destination name to
@@ -94,6 +100,28 @@ func (p *RTZPlane) NewHeader(srcName, dstName int32) (sim.Header, error) {
 		srcLabel: p.sub.LabelOf(src),
 		leg:      rtz.Header{Dest: dst, Label: p.sub.LabelOf(dst), Phase: rtz.PhaseSeek},
 	}, nil
+}
+
+// ResetHeader implements sim.Plane: re-arm an earlier header for a new
+// roundtrip in place. The labels are copied from the substrate's tables,
+// so the reset allocates nothing.
+func (p *RTZPlane) ResetHeader(h sim.Header, srcName, dstName int32) error {
+	hh, ok := h.(*rtzHeader)
+	if !ok {
+		return fmt.Errorf("traffic: rtz plane got %T header", h)
+	}
+	if err := checkName(p.perm, srcName); err != nil {
+		return err
+	}
+	if err := checkName(p.perm, dstName); err != nil {
+		return err
+	}
+	src := graph.NodeID(p.perm.Node(srcName))
+	dst := graph.NodeID(p.perm.Node(dstName))
+	hh.srcName, hh.dstName = srcName, dstName
+	hh.srcLabel = p.sub.LabelOf(src)
+	hh.leg = rtz.Header{Dest: dst, Label: p.sub.LabelOf(dst), Phase: rtz.PhaseSeek}
+	return nil
 }
 
 // BeginReturn implements sim.Plane.
@@ -134,6 +162,10 @@ type hopHeader struct {
 // Words implements sim.Header.
 func (h *hopHeader) Words() int { return h.hs.Words() + h.leg.Words() }
 
+// FixedWords implements sim.FixedSizeHeader: forwarding only flips the
+// leg's Descending bit, so the size is leg-invariant.
+func (h *hopHeader) FixedWords() bool { return true }
+
 // HopPlane adapts the Lemma 5 double-tree-cover substrate ("Hop") to the
 // sim.Plane contract: each roundtrip runs out and back inside the
 // handshake's most convenient shared tree.
@@ -167,6 +199,30 @@ func (p *HopPlane) NewHeader(srcName, dstName int32) (sim.Header, error) {
 		return nil, fmt.Errorf("traffic: handshake (%d,%d): %w", srcName, dstName, err)
 	}
 	return &hopHeader{hs: hs, leg: rtz.HopHeader{Ref: hs.Ref, Target: hs.VLabel}}, nil
+}
+
+// ResetHeader implements sim.Plane: resolve the new pair's handshake and
+// re-arm the header in place.
+func (p *HopPlane) ResetHeader(h sim.Header, srcName, dstName int32) error {
+	hh, ok := h.(*hopHeader)
+	if !ok {
+		return fmt.Errorf("traffic: hop plane got %T header", h)
+	}
+	if err := checkName(p.perm, srcName); err != nil {
+		return err
+	}
+	if err := checkName(p.perm, dstName); err != nil {
+		return err
+	}
+	u := graph.NodeID(p.perm.Node(srcName))
+	v := graph.NodeID(p.perm.Node(dstName))
+	hs, _, err := p.hop.R2(u, v)
+	if err != nil {
+		return fmt.Errorf("traffic: handshake (%d,%d): %w", srcName, dstName, err)
+	}
+	hh.hs = hs
+	hh.leg = rtz.HopHeader{Ref: hs.Ref, Target: hs.VLabel}
+	return nil
 }
 
 // BeginReturn implements sim.Plane: rewind the leg toward the source's

@@ -18,7 +18,6 @@
 package tree
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -275,71 +274,18 @@ func (t *Tree) buildOutRouting(g *graph.Graph, parent []graph.NodeID) error {
 }
 
 // restrictedDijkstra runs Dijkstra from root over the subgraph induced by
-// inSet. Forward mode returns parent pointers (predecessor on shortest
-// root->v path); reverse mode returns next-hop pointers (successor on
-// shortest v->root path).
+// inSet, on graph's pooled scratches. Forward mode returns parent
+// pointers (predecessor on shortest root->v path); reverse mode returns
+// next-hop pointers (successor on shortest v->root path). The returned
+// slices are owned by the caller.
 func restrictedDijkstra(g *graph.Graph, root graph.NodeID, inSet []bool, reverse bool) ([]graph.Dist, []graph.NodeID) {
-	n := g.N()
-	dist := make([]graph.Dist, n)
-	par := make([]graph.NodeID, n)
-	for i := range dist {
-		dist[i] = graph.Inf
-		par[i] = -1
+	var r graph.SSSP
+	if reverse {
+		r = graph.DijkstraRevRestricted(g, root, inSet)
+	} else {
+		r = graph.DijkstraRestricted(g, root, inSet)
 	}
-	dist[root] = 0
-	h := &restrictedHeap{}
-	heap.Push(h, restrictedItem{node: root, dist: 0})
-	for h.Len() > 0 {
-		it := heap.Pop(h).(restrictedItem)
-		u := it.node
-		if it.dist > dist[u] {
-			continue
-		}
-		if reverse {
-			for _, e := range g.In(u) {
-				if !inSet[e.From] {
-					continue
-				}
-				if nd := it.dist + e.Weight; nd < dist[e.From] {
-					dist[e.From] = nd
-					par[e.From] = u
-					heap.Push(h, restrictedItem{node: e.From, dist: nd})
-				}
-			}
-		} else {
-			for _, e := range g.Out(u) {
-				if !inSet[e.To] {
-					continue
-				}
-				if nd := it.dist + e.Weight; nd < dist[e.To] {
-					dist[e.To] = nd
-					par[e.To] = u
-					heap.Push(h, restrictedItem{node: e.To, dist: nd})
-				}
-			}
-		}
-	}
-	return dist, par
-}
-
-type restrictedItem struct {
-	node graph.NodeID
-	dist graph.Dist
-}
-
-type restrictedHeap []restrictedItem
-
-func (h restrictedHeap) Len() int { return len(h) }
-func (h restrictedHeap) Less(i, j int) bool {
-	return h[i].dist < h[j].dist || (h[i].dist == h[j].dist && h[i].node < h[j].node)
-}
-func (h restrictedHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *restrictedHeap) Push(x any)   { *h = append(*h, x.(restrictedItem)) }
-func (h *restrictedHeap) Pop() any {
-	old := *h
-	it := old[len(old)-1]
-	*h = old[:len(old)-1]
-	return it
+	return r.Dist, r.Parent
 }
 
 func sortNodeIDs(s []graph.NodeID) {

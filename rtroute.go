@@ -311,10 +311,13 @@ func SpaceSweep(ns []int, seed int64) ([]eval.SpacePoint, error) { return eval.S
 func FormatSpaceSweep(pts []eval.SpacePoint) string { return eval.FormatSpacePoints(pts) }
 
 // MeasureScheme measures a scheme's roundtrip stretch over sampled pairs.
+// It drives the pairs through the scheme's forwarding plane with one
+// reused header (the traffic engine's allocation discipline); routes and
+// statistics are identical to per-pair Roundtrip traces.
 func MeasureScheme(sys *System, sch Scheme, pairLimit int, seed int64) (StretchStats, error) {
 	rng := rand.New(rand.NewSource(seed))
 	pairs := eval.Pairs(sys.Graph.N(), pairLimit, rng)
-	return eval.MeasureRoundtrips(sys.Metric, sys.Naming, sch.Roundtrip, pairs)
+	return eval.MeasureFlights(sys.Metric, sys.Naming, sch, pairs)
 }
 
 // ProfileBucket is one distance quantile of a stretch profile.
