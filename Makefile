@@ -6,7 +6,7 @@ BENCH_PATTERN ?= Dijkstra|EdgeByPort|MetricBuild|TrafficThroughput
 COUNT ?= 5
 OUT ?= bench-new.txt
 
-.PHONY: all build test verify race short large bench bench-smoke bench-json benchcmp fmt vet lint ci traffic traffic-large
+.PHONY: all build test verify race short large bench bench-smoke bench-json benchcmp fmt vet lint ci traffic traffic-large fuzz-smoke sizes
 
 all: verify
 
@@ -16,8 +16,19 @@ build:
 test:
 	$(GO) test ./...
 
-# Tier-1 verification (ROADMAP.md).
-verify: build test
+# Tier-1 verification (ROADMAP.md) + wire-decoder fuzz smoke.
+verify: build test fuzz-smoke
+
+# Short coverage-guided runs of the wire decoder fuzzers: arbitrary
+# bytes must error cleanly, never panic or over-allocate.
+fuzz-smoke:
+	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzUnmarshalScheme -fuzztime 5s
+	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzUnmarshalHeader -fuzztime 5s
+
+# E14 space certification: per-node encoded bytes across n=256..4096
+# (also: rtroute -sizes).
+sizes:
+	RTROUTE_LARGE=1 $(GO) test -run TestEncodedSpaceCert -v -timeout 3600s ./internal/eval
 
 race:
 	$(GO) test -race ./...
@@ -52,7 +63,7 @@ bench-smoke:
 # Canonical perf suite -> committed trajectory artifact (E13). Bump the
 # output name per PR: BENCH_PR3.json, BENCH_PR4.json, ...
 bench-json:
-	$(GO) run ./cmd/rtbench -exp bench -json -out BENCH_PR3.json
+	$(GO) run ./cmd/rtbench -exp bench -json -out BENCH_PR4.json
 
 # Before/after comparisons: run `make benchcmp OUT=old.txt` on the old
 # commit, again with OUT=new.txt on the new one, then
@@ -70,4 +81,4 @@ vet:
 
 lint: fmt vet
 
-ci: lint build race traffic bench-smoke
+ci: lint build race traffic bench-smoke fuzz-smoke

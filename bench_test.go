@@ -426,3 +426,12 @@ func BenchmarkTrafficThroughput(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkMarshalScheme measures wire-format snapshot encoding
+// (internal/benchsuite: identical body serves `rtbench -exp bench`).
+func BenchmarkMarshalScheme(b *testing.B) { benchsuite.BenchMarshalScheme(b) }
+
+// BenchmarkDeploymentForward serves traffic through a wire-restored
+// per-node-Router Deployment; the PR4 bar is within 10% of the
+// monolithic compiled plane (BenchmarkTrafficThroughput workers=1).
+func BenchmarkDeploymentForward(b *testing.B) { benchsuite.BenchDeploymentForward(b) }

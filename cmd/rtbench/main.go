@@ -13,7 +13,7 @@
 //	rtbench -exp ablation -n 36 -seed 1        # cover-variant ablation (E10)
 //	rtbench -exp traffic -n 256 -packets 200000 -workload zipf -workers 4
 //	                                           # concurrent serving engine (E12/S3)
-//	rtbench -exp bench -json -out BENCH_PR3.json
+//	rtbench -exp bench -json -out BENCH_PR4.json
 //	                                           # canonical perf suite -> trajectory artifact (E13)
 package main
 
@@ -39,7 +39,7 @@ func main() {
 		cache  = flag.Int("lazy-cache", 0, "lazy oracle row-cache budget (0 = default)")
 	)
 	flag.BoolVar(&benchJSON, "json", false, "bench: also write the report as JSON")
-	flag.StringVar(&benchOut, "out", "BENCH_PR3.json", "bench: JSON output path (with -json)")
+	flag.StringVar(&benchOut, "out", "BENCH_PR4.json", "bench: JSON output path (with -json)")
 	flag.IntVar(&trafficWorkers, "workers", 0, "traffic: serving goroutines (0 = GOMAXPROCS)")
 	flag.StringVar(&trafficWorkload, "workload", "zipf", "traffic: pair distribution: uniform|zipf|hotspot|rpc")
 	flag.Float64Var(&trafficZipf, "zipf", 0.9, "traffic: zipf skew theta in [0,1)")

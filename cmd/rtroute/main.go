@@ -1,11 +1,17 @@
 // Command rtroute builds a routing scheme over a generated network and
-// traces roundtrips interactively from the command line.
+// traces roundtrips interactively from the command line. It also
+// exercises the wire codec end to end: -save snapshots a built scheme to
+// disk, -load serves routes from a snapshot (no rebuild), and -sizes
+// prints the per-node encoded-bytes space report.
 //
 // Usage:
 //
 //	rtroute -n 32 -seed 7 -scheme stretch6 -src 3 -dst 17
 //	rtroute -n 64 -seed 1 -scheme exstretch -k 3 -src 0 -dst 42 -v
 //	rtroute -n 32 -seed 2 -scheme poly -k 2 -all
+//	rtroute -n 256 -scheme stretch6 -save s6.rtwf
+//	rtroute -load s6.rtwf -all
+//	rtroute -sizes
 package main
 
 import (
@@ -13,6 +19,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"rtroute"
@@ -20,24 +28,60 @@ import (
 
 func main() {
 	var (
-		n      = flag.Int("n", 32, "number of nodes")
-		seed   = flag.Int64("seed", 1, "random seed")
-		scheme = flag.String("scheme", "stretch6", "scheme: stretch6|exstretch|poly")
-		k      = flag.Int("k", 2, "tradeoff parameter for exstretch/poly")
-		src    = flag.Int("src", 0, "source NAME")
-		dst    = flag.Int("dst", 1, "destination NAME")
-		all    = flag.Bool("all", false, "route all ordered pairs and summarize")
-		graphT = flag.String("graph", "random", "graph family: random|ring|grid|scalefree|layered")
-		load   = flag.String("load", "", "load a graph from this file instead of generating one")
-		verbo  = flag.Bool("v", false, "print the full node path")
-		metric = flag.String("metric", "dense", "distance oracle: dense (n^2 matrix) | lazy (bounded row cache)")
+		n       = flag.Int("n", 32, "number of nodes")
+		seed    = flag.Int64("seed", 1, "random seed")
+		scheme  = flag.String("scheme", "stretch6", "scheme: stretch6|exstretch|poly|rtz|hop")
+		k       = flag.Int("k", 2, "tradeoff parameter for exstretch/poly/hop")
+		src     = flag.Int("src", 0, "source NAME")
+		dst     = flag.Int("dst", 1, "destination NAME")
+		all     = flag.Bool("all", false, "route all ordered pairs and summarize")
+		graphT  = flag.String("graph", "random", "graph family: random|ring|grid|scalefree|layered")
+		loadG   = flag.String("loadgraph", "", "load a graph from this file instead of generating one")
+		verbo   = flag.Bool("v", false, "print the full node path")
+		metric  = flag.String("metric", "dense", "distance oracle: dense (n^2 matrix) | lazy (bounded row cache)")
+		save    = flag.String("save", "", "build the scheme, snapshot it to this file (wire format), and exit")
+		load    = flag.String("load", "", "serve from a scheme snapshot instead of building (graph+naming+tables restored from the file)")
+		sizes   = flag.Bool("sizes", false, "print the per-node encoded-bytes space report (Theorem 6 certification) and exit")
+		sizesNs = flag.String("sizes-ns", "256,1024,4096", "comma-separated graph sizes for -sizes")
 	)
 	flag.Parse()
 
-	if err := run(*n, *seed, *scheme, *k, int32(*src), int32(*dst), *all, *graphT, *load, *verbo, rtroute.MetricKind(*metric)); err != nil {
+	if *sizes {
+		if err := runSizes(*sizesNs, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "rtroute:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*n, *seed, *scheme, *k, int32(*src), int32(*dst), *all, *graphT, *loadG,
+		*verbo, rtroute.MetricKind(*metric), *save, *load); err != nil {
 		fmt.Fprintln(os.Stderr, "rtroute:", err)
 		os.Exit(1)
 	}
+}
+
+// runSizes prints the E14 encoded space report: per-node wire bytes of
+// the stretch-6 scheme across graph sizes, with the fitted growth
+// exponent (Theorem 6 predicts ~sqrt n, slope 0.5 plus a log factor).
+func runSizes(nsSpec string, seed int64) error {
+	var ns []int
+	for _, f := range strings.Split(nsSpec, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return fmt.Errorf("bad -sizes-ns entry %q: %w", f, err)
+		}
+		if v < 2 {
+			return fmt.Errorf("bad -sizes-ns entry %q: need at least 2 nodes", f)
+		}
+		ns = append(ns, v)
+	}
+	fmt.Println("# E14 — per-node encoded routing state (wire bytes), stretch6")
+	pts, err := rtroute.EncodedSpaceSweep(rtroute.EncodedSpaceConfig{Ns: ns, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rtroute.FormatEncodedSpace(pts))
+	return nil
 }
 
 func makeGraph(family string, n int, rng *rand.Rand) (*rtroute.Graph, error) {
@@ -66,50 +110,117 @@ func makeGraph(family string, n int, rng *rand.Rand) (*rtroute.Graph, error) {
 	}
 }
 
-func run(n int, seed int64, schemeName string, k int, src, dst int32, all bool, family, load string, verbose bool, metric rtroute.MetricKind) error {
-	rng := rand.New(rand.NewSource(seed))
+func buildKind(name string) (rtroute.SchemeKind, error) {
+	switch name {
+	case "stretch6":
+		return rtroute.StretchSix, nil
+	case "exstretch":
+		return rtroute.ExStretch, nil
+	case "poly":
+		return rtroute.Polynomial, nil
+	case "rtz":
+		return rtroute.RTZStretch3, nil
+	case "hop":
+		return rtroute.HopSubstrate, nil
+	default:
+		return 0, fmt.Errorf("unknown scheme %q", name)
+	}
+}
+
+func run(n int, seed int64, schemeName string, k int, src, dst int32, all bool,
+	family, loadGraph string, verbose bool, metric rtroute.MetricKind, save, load string) error {
 	var (
-		g   *rtroute.Graph
-		err error
+		sch rtroute.Scheme
+		sys *rtroute.System
 	)
 	if load != "" {
-		f, err := os.Open(load)
+		// Serve from a snapshot: graph, naming and every node's tables
+		// come out of the file; only the stretch-accounting oracle is
+		// recomputed.
+		data, err := os.ReadFile(load)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		g, err = rtroute.ReadGraph(f)
+		dep, err := rtroute.UnmarshalScheme(data)
 		if err != nil {
 			return fmt.Errorf("loading %s: %w", load, err)
 		}
-		family = load
-	} else {
-		g, err = makeGraph(family, n, rng)
+		sys, err = rtroute.NewSystemWith(dep.Graph(), dep.Naming(), rtroute.SystemConfig{Metric: metric})
 		if err != nil {
 			return err
 		}
+		sch = dep
+		maxB, avgB := 0, 0.0
+		for v := 0; v < dep.Graph().N(); v++ {
+			b := dep.EncodedSize(rtroute.NodeID(v))
+			avgB += float64(b)
+			if b > maxB {
+				maxB = b
+			}
+		}
+		avgB /= float64(dep.Graph().N())
+		fmt.Printf("restored %s from %s (%d bytes): %d nodes / %d edges; encoded state max %d B/node, avg %.1f B/node\n",
+			dep.SchemeName(), load, len(data), dep.Graph().N(), dep.Graph().M(), maxB, avgB)
+	} else {
+		rng := rand.New(rand.NewSource(seed))
+		var (
+			g   *rtroute.Graph
+			err error
+		)
+		if loadGraph != "" {
+			f, err := os.Open(loadGraph)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			g, err = rtroute.ReadGraph(f)
+			if err != nil {
+				return fmt.Errorf("loading %s: %w", loadGraph, err)
+			}
+			family = loadGraph
+		} else {
+			g, err = makeGraph(family, n, rng)
+			if err != nil {
+				return err
+			}
+		}
+		sys, err = rtroute.NewSystemWith(g, rtroute.RandomNaming(g.N(), rng), rtroute.SystemConfig{Metric: metric})
+		if err != nil {
+			return err
+		}
+		kind, err := buildKind(schemeName)
+		if err != nil {
+			return err
+		}
+		sch, err = sys.Build(kind, rtroute.WithSeed(seed), rtroute.WithK(k))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("built %s over %d nodes / %d edges (%s graph); max table %d words, avg %.1f\n",
+			sch.SchemeName(), g.N(), g.M(), family, sch.MaxTableWords(), sch.AvgTableWords())
 	}
-	sys, err := rtroute.NewSystemWith(g, rtroute.RandomNaming(g.N(), rng), rtroute.SystemConfig{Metric: metric})
-	if err != nil {
-		return err
-	}
-	var sch rtroute.Scheme
-	switch schemeName {
-	case "stretch6":
-		sch, err = sys.BuildStretchSix(seed)
-	case "exstretch":
-		sch, err = sys.BuildExStretch(k, seed)
-	case "poly":
-		sch, err = sys.BuildPolynomial(k)
-	default:
-		return fmt.Errorf("unknown scheme %q", schemeName)
-	}
-	if err != nil {
-		return err
-	}
-	fmt.Printf("built %s over %d nodes / %d edges (%s graph); max table %d words, avg %.1f\n",
-		sch.SchemeName(), g.N(), g.M(), family, sch.MaxTableWords(), sch.AvgTableWords())
 
+	if save != "" {
+		blob, nodeSizes, err := rtroute.MarshalSchemeSizes(sch)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(save, blob, 0o644); err != nil {
+			return err
+		}
+		maxB, total := 0, 0
+		for _, b := range nodeSizes {
+			total += b
+			if b > maxB {
+				maxB = b
+			}
+		}
+		fmt.Printf("saved %s (%d bytes): per-node state max %d B, avg %.1f B; shared envelope %d B\n",
+			save, len(blob), maxB, float64(total)/float64(len(nodeSizes)), len(blob)-total)
+		return nil
+	}
+
+	g := sys.Graph
 	if all {
 		start := time.Now()
 		stats, err := rtroute.MeasureScheme(sys, sch, g.N()*(g.N()-1), seed)

@@ -16,7 +16,7 @@ func ExampleNewSystem() {
 	if err != nil {
 		panic(err)
 	}
-	scheme, err := sys.BuildStretchSix(7)
+	scheme, err := sys.Build(rtroute.StretchSix, rtroute.WithSeed(7))
 	if err != nil {
 		panic(err)
 	}
@@ -78,7 +78,7 @@ func ExampleMeasureScheme() {
 	if err != nil {
 		panic(err)
 	}
-	scheme, err := sys.BuildStretchSix(5)
+	scheme, err := sys.Build(rtroute.StretchSix, rtroute.WithSeed(5))
 	if err != nil {
 		panic(err)
 	}

@@ -39,7 +39,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		scheme, err := sys.BuildStretchSix(17)
+		scheme, err := sys.Build(rtroute.StretchSix, rtroute.WithSeed(17))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -57,7 +57,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	scheme, err := sys.BuildStretchSix(5)
+	scheme, err := sys.Build(rtroute.StretchSix, rtroute.WithSeed(5))
 	if err != nil {
 		log.Fatal(err)
 	}

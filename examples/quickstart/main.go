@@ -24,7 +24,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	scheme, err := sys.BuildStretchSix(42)
+	scheme, err := sys.Build(rtroute.StretchSix, rtroute.WithSeed(42))
 	if err != nil {
 		log.Fatal(err)
 	}

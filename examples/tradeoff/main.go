@@ -24,21 +24,21 @@ func main() {
 	fmt.Printf("%-16s %3s %10s %10s %9s %9s %9s\n",
 		"scheme", "k", "maxTblW", "avgTblW", "maxS", "meanS", "bound")
 
-	s6, err := sys.BuildStretchSix(1)
+	s6, err := sys.Build(rtroute.StretchSix, rtroute.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
 	report(sys, "stretch6", 2, s6, "6")
 
 	for _, k := range []int{2, 3, 4} {
-		ex, err := sys.BuildExStretch(k, int64(k))
+		ex, err := sys.Build(rtroute.ExStretch, rtroute.WithK(k), rtroute.WithSeed(int64(k)))
 		if err != nil {
 			log.Fatal(err)
 		}
 		report(sys, "exstretch", k, ex, fmt.Sprintf("(2^%d-1)*hop", k))
 	}
 	for _, k := range []int{2, 3} {
-		poly, err := sys.BuildPolynomial(k)
+		poly, err := sys.Build(rtroute.Polynomial, rtroute.WithK(k))
 		if err != nil {
 			log.Fatal(err)
 		}

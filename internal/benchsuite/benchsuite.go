@@ -21,6 +21,7 @@ import (
 	"rtroute/internal/graph"
 	"rtroute/internal/names"
 	"rtroute/internal/traffic"
+	"rtroute/internal/wire"
 )
 
 // Result is one benchmark's measurement.
@@ -107,6 +108,8 @@ func suite() []entry {
 		{"metricbuild/dense-parallel", BenchMetricDenseParallel},
 		{"metricbuild/lazy-single-row", BenchMetricLazySingleRow},
 		{"traffic/stretch6-workers=1", BenchTrafficSingleWorker},
+		{"traffic/deployment-workers=1", BenchDeploymentForward},
+		{"wire/marshal-stretch6", BenchMarshalScheme},
 	}
 }
 
@@ -240,9 +243,9 @@ func BenchMetricLazySingleRow(b *testing.B) {
 	}
 }
 
-// BenchTrafficSingleWorker is the single-worker serving benchmark: one compiled
-// StretchSix plane, Zipf workload, one roundtrip per iteration.
-func BenchTrafficSingleWorker(b *testing.B) {
+// benchStretchSix builds the shared 256-node StretchSix instance the
+// serving benchmarks compile.
+func benchStretchSix(b *testing.B) *core.StretchSix {
 	rng := rand.New(rand.NewSource(1))
 	n := 256
 	g := graph.RandomSC(n, 4*n, 8, rng)
@@ -252,10 +255,10 @@ func BenchTrafficSingleWorker(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	pl, err := traffic.Compile(s6)
-	if err != nil {
-		b.Fatal(err)
-	}
+	return s6
+}
+
+func benchServe(b *testing.B, pl *traffic.Plane) {
 	b.ResetTimer()
 	res, err := traffic.Run(pl, traffic.Config{
 		Workers:  1,
@@ -268,4 +271,51 @@ func BenchTrafficSingleWorker(b *testing.B) {
 	}
 	b.ReportMetric(res.PacketsPerSec(), "packets/s")
 	b.ReportMetric(res.HopsPerSec(), "hops/s")
+}
+
+// BenchTrafficSingleWorker is the single-worker serving benchmark: one compiled
+// StretchSix plane, Zipf workload, one roundtrip per iteration.
+func BenchTrafficSingleWorker(b *testing.B) {
+	pl, err := traffic.Compile(benchStretchSix(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchServe(b, pl)
+}
+
+// BenchDeploymentForward serves the identical workload through a
+// wire-restored Deployment — per-node Router dispatch on every hop. The
+// PR4 acceptance bar: within 10% of the monolithic compiled plane.
+func BenchDeploymentForward(b *testing.B) {
+	blob, err := wire.MarshalScheme(benchStretchSix(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dep, err := wire.UnmarshalScheme(blob)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := traffic.Compile(dep)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchServe(b, pl)
+}
+
+// BenchMarshalScheme measures full-scheme snapshot encoding (256-node
+// StretchSix), reporting the blob size alongside ns/op.
+func BenchMarshalScheme(b *testing.B) {
+	s6 := benchStretchSix(b)
+	blob, err := wire.MarshalScheme(s6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(blob)))
+	b.ReportMetric(float64(len(blob)), "blobBytes")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.MarshalScheme(s6); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

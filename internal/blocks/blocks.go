@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"rtroute/internal/graph"
 	"rtroute/internal/rtmetric"
@@ -115,7 +116,7 @@ type Assignment struct {
 	Sets [][]BlockID
 }
 
-// Config controls the randomized assignment.
+// Config controls the assignment construction.
 type Config struct {
 	// Boost multiplies the per-block inclusion probability c·ln(n)/#blocks.
 	// The Lemma's union bound needs a constant >= 3; larger values trade
@@ -126,6 +127,17 @@ type Config struct {
 	// Names maps topological node index -> TINN name. nil means identity.
 	// The dictionary is keyed by names; neighborhoods are topological.
 	Names []int32
+	// Greedy selects the deterministic deficiency-repair assignment
+	// instead of probabilistic sampling: every node starts with its own
+	// block, then each uncovered prefix class of each neighborhood is
+	// repaired by assigning one representative block to the least-loaded
+	// member. The result passes the same Lemma 1/4 verifier as the
+	// sampled distribution but with near-minimal tables — the
+	// construction the encoded-space certification (E14) measures, since
+	// the Lemma is existential and the space bound should be measured on
+	// the leanest assignment that realizes it. Deterministic: no
+	// randomness consumed.
+	Greedy bool
 }
 
 func (c *Config) fill() {
@@ -169,6 +181,9 @@ func Assign(space *rtmetric.Space, k int, rng *rand.Rand, cfg Config) (*Assignme
 	}
 
 	sizes := rtmetric.NeighborhoodSizes(n, k)
+	if cfg.Greedy {
+		return assignGreedy(space, u, names, sizes)
+	}
 	for attempt := 0; attempt < cfg.MaxAttempts; attempt++ {
 		a := &Assignment{U: u, Sets: make([][]BlockID, n)}
 		for v := 0; v < n; v++ {
@@ -188,6 +203,148 @@ func Assign(space *rtmetric.Space, k int, rng *rand.Rand, cfg Config) (*Assignme
 	}
 	return nil, fmt.Errorf("blocks: no valid assignment after %d attempts (n=%d k=%d boost=%g)",
 		cfg.MaxAttempts, n, k, cfg.Boost)
+}
+
+// assignGreedy is the deterministic deficiency-repair assignment:
+// starting from own blocks, walk levels from finest (i = k-1) to
+// coarsest and, for every node's neighborhood N_i(v), assign each
+// missing length-i prefix class to the member currently holding the
+// fewest blocks (representative block: the smallest realized block with
+// that prefix). Repairs are monotone — adding blocks never uncovers a
+// neighborhood processed earlier — so one pass per level suffices; the
+// shared verifier still hard-checks the result.
+func assignGreedy(space *rtmetric.Space, u Universe, names []int32, sizes []int) (*Assignment, error) {
+	n := space.G.N()
+	held := make([]map[BlockID]bool, n)
+	counts := make([]int, n)
+	for v := 0; v < n; v++ {
+		held[v] = map[BlockID]bool{u.BlockOf(names[v]): true}
+		counts[v] = 1
+	}
+	for i := u.K - 1; i >= 1; i-- {
+		maxPrefix := u.Prefix(int32(u.N-1), i)
+		repStep := pow(u.Q, u.K-1-i) // smallest block with prefix tau is tau*repStep
+		covered := make(map[int32]bool)
+		for v := 0; v < n; v++ {
+			nbhd := space.Neighborhood(graph.NodeID(v), sizes[i])
+			for key := range covered {
+				delete(covered, key)
+			}
+			for _, w := range nbhd {
+				for b := range held[w] {
+					covered[u.BlockPrefix(b, i)] = true
+				}
+			}
+			for tau := int32(0); tau <= maxPrefix; tau++ {
+				if covered[tau] {
+					continue
+				}
+				rep := BlockID(int(tau) * repStep)
+				best := nbhd[0]
+				for _, w := range nbhd[1:] {
+					if counts[w] < counts[best] || (counts[w] == counts[best] && w < best) {
+						best = w
+					}
+				}
+				held[best][rep] = true
+				counts[best]++
+				covered[tau] = true
+			}
+		}
+	}
+	pruneGreedy(space, u, names, sizes, held)
+	a := &Assignment{U: u, Sets: make([][]BlockID, n)}
+	for v := 0; v < n; v++ {
+		set := make([]BlockID, 0, len(held[v]))
+		for b := range held[v] {
+			set = append(set, b)
+		}
+		sortBlocks(set)
+		a.Sets[v] = set
+	}
+	if !a.verify(space, sizes) {
+		return nil, fmt.Errorf("blocks: greedy assignment failed verification (n=%d k=%d)", n, u.K)
+	}
+	return a, nil
+}
+
+// pruneGreedy is the reverse-delete pass of the deficiency-repair
+// assignment: drop every block whose removal keeps all neighborhoods
+// covered at every level. Coverage counts only decrease, so a block
+// found unremovable stays unremovable and one deterministic pass yields
+// an irredundant (locally minimal) assignment. Own blocks are kept
+// unconditionally (§3.3's S'_u).
+func pruneGreedy(space *rtmetric.Space, u Universe, names []int32, sizes []int, held []map[BlockID]bool) {
+	n := space.G.N()
+	levels := u.K - 1
+	// inv[i][w] lists the nodes v with w in N_{i+1}(v); cnt[i] holds, per
+	// node v and prefix class tau, the number of (member, block) pairs of
+	// N_{i+1}(v) matching tau.
+	inv := make([][][]graph.NodeID, levels)
+	cnt := make([][][]int32, levels)
+	stride := make([]int, levels)
+	for li := 0; li < levels; li++ {
+		i := li + 1
+		stride[li] = int(u.Prefix(int32(u.N-1), i)) + 1
+		inv[li] = make([][]graph.NodeID, n)
+		cnt[li] = make([][]int32, n)
+		for v := 0; v < n; v++ {
+			cnt[li][v] = make([]int32, stride[li])
+		}
+		for v := 0; v < n; v++ {
+			for _, w := range space.Neighborhood(graph.NodeID(v), sizes[i]) {
+				inv[li][w] = append(inv[li][w], graph.NodeID(v))
+				for b := range held[w] {
+					cnt[li][v][u.BlockPrefix(b, i)]++
+				}
+			}
+		}
+	}
+	// Deterministic order: heaviest nodes first, blocks descending, so
+	// the over-assigned repair targets shed load first.
+	order := make([]graph.NodeID, n)
+	for v := range order {
+		order[v] = graph.NodeID(v)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if len(held[order[a]]) != len(held[order[b]]) {
+			return len(held[order[a]]) > len(held[order[b]])
+		}
+		return order[a] < order[b]
+	})
+	for _, w := range order {
+		own := u.BlockOf(names[w])
+		blocks := make([]BlockID, 0, len(held[w]))
+		for b := range held[w] {
+			if b != own {
+				blocks = append(blocks, b)
+			}
+		}
+		sortBlocks(blocks)
+		for j := len(blocks) - 1; j >= 0; j-- {
+			b := blocks[j]
+			removable := true
+			for li := 0; li < levels && removable; li++ {
+				tau := u.BlockPrefix(b, li+1)
+				for _, v := range inv[li][w] {
+					if cnt[li][v][tau] < 2 {
+						removable = false
+						break
+					}
+				}
+			}
+			if !removable {
+				continue
+			}
+			delete(held[w], b)
+			for li := 0; li < levels; li++ {
+				tau := u.BlockPrefix(b, li+1)
+				for _, v := range inv[li][w] {
+					cnt[li][v][tau]--
+				}
+			}
+		}
+	}
 }
 
 func sortBlocks(s []BlockID) {

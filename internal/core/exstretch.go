@@ -43,9 +43,9 @@ type ExStretch struct {
 	nodes []*exTable
 }
 
-// exGlobal is one level of a node's globally valid label: its home
+// ExGlobal is one level of a node's globally valid label: its home
 // double-tree and its address within it (DirectReturn variant).
-type exGlobal struct {
+type ExGlobal struct {
 	Ref   cover.TreeRef
 	Label tree.Label
 }
@@ -73,7 +73,7 @@ type exTable struct {
 	hopTab *rtz.HopTable
 	// global is the node's own globally valid label, present only in the
 	// DirectReturn variant (the "second set of routing tables" of §3.5).
-	global []exGlobal
+	global []ExGlobal
 }
 
 func (t *exTable) words() int {
@@ -93,22 +93,22 @@ func (t *exTable) words() int {
 	return w
 }
 
-// exWaypoint is one stack record: the waypoint we departed from and the
+// ExWaypoint is one stack record: the waypoint we departed from and the
 // handshake used, so the return trip can retrace it.
-type exWaypoint struct {
+type ExWaypoint struct {
 	Name int32
 	HS   rtz.Handshake
 }
 
-// exHeader is the packet header of Fig. 6.
-type exHeader struct {
+// ExHeader is the packet header of Fig. 6.
+type ExHeader struct {
 	Mode             Mode
 	DestName         int32
 	SrcName          int32
 	Hop              int8
 	NextWaypointName int32
-	Stack            []exWaypoint
-	Global           []exGlobal // source's global label (DirectReturn)
+	Stack            []ExWaypoint
+	Global           []ExGlobal // source's global label (DirectReturn)
 	Leg              rtz.HopHeader
 	LegSet           bool
 }
@@ -116,7 +116,7 @@ type exHeader struct {
 // Words implements sim.Header. The stack holds at most k handshakes:
 // o(k log^2 n) bits as Theorem 9 states. The DirectReturn variant trades
 // the stack for the per-level global label.
-func (h *exHeader) Words() int {
+func (h *ExHeader) Words() int {
 	w := 5 + h.Leg.Words()
 	for _, rec := range h.Stack {
 		w += 1 + rec.HS.Words()
@@ -127,7 +127,7 @@ func (h *exHeader) Words() int {
 	return w
 }
 
-var _ sim.Header = (*exHeader)(nil)
+var _ sim.Header = (*ExHeader)(nil)
 var _ sim.Forwarder = (*ExStretch)(nil)
 var _ Scheme = (*ExStretch)(nil)
 
@@ -278,7 +278,7 @@ func NewExStretch(g *graph.Graph, m graph.DistanceOracle, perm *names.Permutatio
 				if !ok {
 					return fmt.Errorf("core: home tree %v lacks label for %d", ref, u)
 				}
-				tab.global = append(tab.global, exGlobal{Ref: ref, Label: lbl})
+				tab.global = append(tab.global, ExGlobal{Ref: ref, Label: lbl})
 			}
 		}
 		s.nodes[u] = tab
@@ -335,7 +335,7 @@ func (s *ExStretch) lookupNext(tab *exTable, hopIdx int, destName int32) (int32,
 // advance runs the Fig. 4 waypoint loop at the current node: skip
 // waypoints colocated here, then arm the leg toward the next real
 // waypoint (pushing the handshake for the return trip).
-func (s *ExStretch) advance(tab *exTable, h *exHeader) error {
+func (s *ExStretch) advance(tab *exTable, h *ExHeader) error {
 	for {
 		if int(h.Hop) >= s.k {
 			return fmt.Errorf("core: advance called at hop %d >= k", h.Hop)
@@ -352,7 +352,7 @@ func (s *ExStretch) advance(tab *exTable, h *exHeader) error {
 			continue
 		}
 		if !s.directReturn {
-			h.Stack = append(h.Stack, exWaypoint{Name: tab.selfName, HS: hs})
+			h.Stack = append(h.Stack, ExWaypoint{Name: tab.selfName, HS: hs})
 		}
 		h.NextWaypointName = nextName
 		h.Leg = rtz.HopHeader{Ref: hs.Ref, Target: hs.VLabel}
@@ -363,7 +363,7 @@ func (s *ExStretch) advance(tab *exTable, h *exHeader) error {
 
 // Forward implements the Fig. 6 local routing algorithm.
 func (s *ExStretch) Forward(at graph.NodeID, header sim.Header) (graph.PortID, bool, error) {
-	h, ok := header.(*exHeader)
+	h, ok := header.(*ExHeader)
 	if !ok {
 		return 0, false, fmt.Errorf("core: exstretch got %T header", header)
 	}
@@ -466,7 +466,7 @@ func (s *ExStretch) NewHeader(srcName, dstName int32) (sim.Header, error) {
 	if dstName < 0 || int(dstName) >= s.perm.N() {
 		return nil, fmt.Errorf("core: destination name %d outside [0,%d)", dstName, s.perm.N())
 	}
-	return &exHeader{Mode: ModeNewPacket, DestName: dstName}, nil
+	return &ExHeader{Mode: ModeNewPacket, DestName: dstName}, nil
 }
 
 // ResetHeader implements sim.Plane: rewrite an earlier header in place
@@ -474,20 +474,20 @@ func (s *ExStretch) NewHeader(srcName, dstName int32) (sim.Header, error) {
 // capacity, so a reused header stops allocating once it has seen a
 // k-waypoint route.
 func (s *ExStretch) ResetHeader(h sim.Header, srcName, dstName int32) error {
-	hh, ok := h.(*exHeader)
+	hh, ok := h.(*ExHeader)
 	if !ok {
 		return fmt.Errorf("core: exstretch got %T header", h)
 	}
 	if dstName < 0 || int(dstName) >= s.perm.N() {
 		return fmt.Errorf("core: destination name %d outside [0,%d)", dstName, s.perm.N())
 	}
-	*hh = exHeader{Mode: ModeNewPacket, DestName: dstName, Stack: hh.Stack[:0]}
+	*hh = ExHeader{Mode: ModeNewPacket, DestName: dstName, Stack: hh.Stack[:0]}
 	return nil
 }
 
 // BeginReturn implements sim.Plane.
 func (s *ExStretch) BeginReturn(h sim.Header) error {
-	hh, ok := h.(*exHeader)
+	hh, ok := h.(*ExHeader)
 	if !ok {
 		return fmt.Errorf("core: exstretch got %T header", h)
 	}
@@ -551,6 +551,9 @@ type PrefixStep struct {
 // digits and the destination-prefix length its blocks match — the
 // "increasingly matching the destination" illustration.
 func (s *ExStretch) PrefixTrace(srcName, dstName int32) ([]PrefixStep, error) {
+	if s.assign == nil {
+		return nil, fmt.Errorf("core: PrefixTrace unavailable on an assembled deployment (block assignment not part of local state)")
+	}
 	wps, err := s.Waypoints(srcName, dstName)
 	if err != nil {
 		return nil, err
@@ -578,8 +581,14 @@ func (s *ExStretch) Universe() blocks.Universe { return s.uni }
 
 // HoldsPrefix reports whether node v stores a block whose first i digits
 // match the first i digits of the given name — the §3.4 waypoint
-// invariant. Exposed for the experiments.
+// invariant. Exposed for the experiments. On an assembled Deployment the
+// block assignment is not part of any node's local state, so HoldsPrefix
+// reports false for every query; use PrefixTrace, which returns an
+// explicit error, when deployment-origin schemes may reach this code.
 func (s *ExStretch) HoldsPrefix(v graph.NodeID, i int, name int32) bool {
+	if s.assign == nil {
+		return false
+	}
 	want := s.uni.Prefix(name, i)
 	for _, b := range s.assign.Sets[v] {
 		if s.uni.BlockPrefix(b, i) == want {

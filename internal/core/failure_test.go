@@ -51,9 +51,9 @@ func TestForwardRejectsWrongHeaderType(t *testing.T) {
 func TestForwardRejectsInvalidMode(t *testing.T) {
 	_, _, schemes := buildAllSchemes(t, 2, 16)
 	headers := []sim.Header{
-		&s6Header{Mode: Mode(99), DestName: 1},
-		&exHeader{Mode: Mode(99), DestName: 1},
-		&polyHeader{Mode: Mode(99), DestName: 1},
+		&S6Header{Mode: Mode(99), DestName: 1},
+		&ExHeader{Mode: Mode(99), DestName: 1},
+		&PolyHeader{Mode: Mode(99), DestName: 1},
 	}
 	for i, sch := range schemes {
 		if _, _, err := sch.Forward(0, headers[i]); err == nil {
@@ -75,7 +75,7 @@ func TestStretchSixUnknownDestinationName(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := &s6Header{Mode: ModeNewPacket, DestName: 9999, DictName: -1}
+	h := &S6Header{Mode: ModeNewPacket, DestName: 9999, DictName: -1}
 	defer func() {
 		if r := recover(); r != nil {
 			t.Fatalf("panicked on unknown name: %v", r)
@@ -102,7 +102,7 @@ func TestExStretchEmptyStackReturnFails(t *testing.T) {
 	}
 	// A ReturnPacket at a node that is not the source with no stack is a
 	// protocol violation and must error.
-	h := &exHeader{Mode: ModeReturnPacket, DestName: perm.Name(3), SrcName: perm.Name(5)}
+	h := &ExHeader{Mode: ModeReturnPacket, DestName: perm.Name(3), SrcName: perm.Name(5)}
 	if _, _, err := s.Forward(3, h); err == nil {
 		t.Fatal("empty-stack return accepted away from the source")
 	}
@@ -120,7 +120,7 @@ func TestPolyLadderExhaustionIsDiagnosed(t *testing.T) {
 		t.Fatal(err)
 	}
 	src := graph.NodeID(2)
-	h := &polyHeader{
+	h := &PolyHeader{
 		Mode:     ModeOutbound,
 		DestName: 9999, // unmatchable: every dictionary lookup fails
 		SrcName:  s.nodes[src].selfName,
@@ -147,7 +147,7 @@ func TestForeignLabelIsCaught(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := &exHeader{Mode: ModeOutbound, DestName: perm.Name(7), SrcName: perm.Name(0), NextWaypointName: -2, LegSet: true}
+	h := &ExHeader{Mode: ModeOutbound, DestName: perm.Name(7), SrcName: perm.Name(0), NextWaypointName: -2, LegSet: true}
 	h.Leg.Ref.Level = 99 // no such tree anywhere
 	if _, _, err := ex.Forward(0, h); err == nil {
 		t.Fatal("foreign tree reference accepted")

@@ -29,9 +29,13 @@ import (
 type PolynomialStretch struct {
 	g    *graph.Graph
 	perm *names.Permutation
-	hier *cover.Hierarchy
+	hier *cover.Hierarchy // nil on an assembled Deployment; forwarding never consults it
 	uni  blocks.Universe
 	k    int
+	// levels is the length of the scale ladder, kept as a plain count so
+	// that escalation works from per-node state alone (the hierarchy
+	// itself is not part of any node's local routing state).
+	levels int
 
 	nodes []*polyTable
 }
@@ -71,8 +75,8 @@ func (t *polyTable) words() int {
 	return w
 }
 
-// polyHeader is the packet header of Fig. 11.
-type polyHeader struct {
+// PolyHeader is the packet header of Fig. 11.
+type PolyHeader struct {
 	Mode             Mode
 	DestName         int32
 	SrcName          int32
@@ -86,11 +90,11 @@ type polyHeader struct {
 }
 
 // Words implements sim.Header.
-func (h *polyHeader) Words() int {
+func (h *PolyHeader) Words() int {
 	return 8 + h.SourceLabel.Words() + h.Target.Words()
 }
 
-var _ sim.Header = (*polyHeader)(nil)
+var _ sim.Header = (*PolyHeader)(nil)
 var _ sim.Forwarder = (*PolynomialStretch)(nil)
 var _ Scheme = (*PolynomialStretch)(nil)
 
@@ -132,7 +136,7 @@ func NewPolynomialStretch(g *graph.Graph, m graph.DistanceOracle, perm *names.Pe
 	space := rtmetric.New(g, m, perm.Names)
 	uni := blocks.NewUniverse(n, cfg.K)
 
-	s := &PolynomialStretch{g: g, perm: perm, hier: hier, uni: uni, k: cfg.K, nodes: make([]*polyTable, n)}
+	s := &PolynomialStretch{g: g, perm: perm, hier: hier, uni: uni, k: cfg.K, levels: len(hier.Levels), nodes: make([]*polyTable, n)}
 	space.Precompute(cfg.BuildWorkers)
 	err = parallel.ForEach(n, cfg.BuildWorkers, func(u int) error {
 		tab := &polyTable{
@@ -199,7 +203,7 @@ func (s *PolynomialStretch) SchemeName() string { return fmt.Sprintf("polystretc
 
 // computeNext implements NextNode (§4.2) at the current node, escalating
 // levels at the source when the current tree has no matching entry.
-func (s *PolynomialStretch) computeNext(tab *polyTable, h *polyHeader) error {
+func (s *PolynomialStretch) computeNext(tab *polyTable, h *PolyHeader) error {
 	for {
 		e, ok := tab.trees[h.Ref]
 		if !ok {
@@ -230,8 +234,8 @@ func (s *PolynomialStretch) computeNext(tab *polyTable, h *polyHeader) error {
 
 // escalate moves the search to the source's home tree one level up
 // (Fig. 11's "Level <- Level * 2" step on the scale ladder).
-func (s *PolynomialStretch) escalate(tab *polyTable, h *polyHeader) error {
-	if int(h.Level)+1 >= len(s.hier.Levels) {
+func (s *PolynomialStretch) escalate(tab *polyTable, h *PolyHeader) error {
+	if int(h.Level)+1 >= s.levels {
 		return fmt.Errorf("core: level ladder exhausted routing %d -> %d", h.SrcName, h.DestName)
 	}
 	h.Level++
@@ -246,7 +250,7 @@ func (s *PolynomialStretch) escalate(tab *polyTable, h *polyHeader) error {
 
 // Forward implements the Fig. 11 local routing algorithm.
 func (s *PolynomialStretch) Forward(at graph.NodeID, header sim.Header) (graph.PortID, bool, error) {
-	h, ok := header.(*polyHeader)
+	h, ok := header.(*PolyHeader)
 	if !ok {
 		return 0, false, fmt.Errorf("core: polystretch got %T header", header)
 	}
@@ -337,26 +341,26 @@ func (s *PolynomialStretch) NewHeader(srcName, dstName int32) (sim.Header, error
 	if dstName < 0 || int(dstName) >= s.perm.N() {
 		return nil, fmt.Errorf("core: destination name %d outside [0,%d)", dstName, s.perm.N())
 	}
-	return &polyHeader{Mode: ModeNewPacket, DestName: dstName}, nil
+	return &PolyHeader{Mode: ModeNewPacket, DestName: dstName}, nil
 }
 
 // ResetHeader implements sim.Plane: rewrite an earlier header in place
 // into a fresh Fig. 11 outbound header, allocating nothing.
 func (s *PolynomialStretch) ResetHeader(h sim.Header, srcName, dstName int32) error {
-	hh, ok := h.(*polyHeader)
+	hh, ok := h.(*PolyHeader)
 	if !ok {
 		return fmt.Errorf("core: polystretch got %T header", h)
 	}
 	if dstName < 0 || int(dstName) >= s.perm.N() {
 		return fmt.Errorf("core: destination name %d outside [0,%d)", dstName, s.perm.N())
 	}
-	*hh = polyHeader{Mode: ModeNewPacket, DestName: dstName}
+	*hh = PolyHeader{Mode: ModeNewPacket, DestName: dstName}
 	return nil
 }
 
 // BeginReturn implements sim.Plane.
 func (s *PolynomialStretch) BeginReturn(h sim.Header) error {
-	hh, ok := h.(*polyHeader)
+	hh, ok := h.(*PolyHeader)
 	if !ok {
 		return fmt.Errorf("core: polystretch got %T header", h)
 	}
@@ -383,6 +387,9 @@ func (s *PolynomialStretch) K() int { return s.k }
 // HomeTreeRoot returns the name of the center of srcName's home
 // double-tree at the given level — the relay node of Fig. 10.
 func (s *PolynomialStretch) HomeTreeRoot(srcName int32, level int) (int32, error) {
+	if s.hier == nil {
+		return 0, fmt.Errorf("core: HomeTreeRoot unavailable on an assembled deployment (hierarchy not part of local state)")
+	}
 	if level < 0 || level >= len(s.hier.Levels) {
 		return 0, fmt.Errorf("core: level %d outside ladder of %d", level, len(s.hier.Levels))
 	}
@@ -392,7 +399,7 @@ func (s *PolynomialStretch) HomeTreeRoot(srcName int32, level int) (int32, error
 }
 
 // Levels returns the number of levels in the hierarchy.
-func (s *PolynomialStretch) Levels() int { return len(s.hier.Levels) }
+func (s *PolynomialStretch) Levels() int { return s.levels }
 
 // MaxTableWords implements Scheme.
 func (s *PolynomialStretch) MaxTableWords() int {

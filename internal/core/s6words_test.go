@@ -18,7 +18,7 @@ type wordsCheckingForwarder struct {
 
 func (f wordsCheckingForwarder) Forward(at graph.NodeID, h sim.Header) (graph.PortID, bool, error) {
 	port, delivered, err := f.s.Forward(at, h)
-	hh := h.(*s6Header)
+	hh := h.(*S6Header)
 	if got, want := hh.Words(), hh.wordsRecomputed(); got != want {
 		f.t.Fatalf("at node %d (mode %v stage %v): cached Words %d != recomputed %d",
 			at, hh.Mode, hh.Stage, got, want)
@@ -51,7 +51,7 @@ func TestS6HeaderWordsCacheConsistent(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if got, want := h.Words(), h.(*s6Header).wordsRecomputed(); got != want {
+			if got, want := h.Words(), h.(*S6Header).wordsRecomputed(); got != want {
 				t.Fatalf("fresh header: cached Words %d != recomputed %d", got, want)
 			}
 			if _, err := sim.Run(g, f, s6.NodeOf(src), h, 0); err != nil {
@@ -66,7 +66,7 @@ func TestS6HeaderWordsCacheConsistent(t *testing.T) {
 			if err := s6.ResetHeader(h, src, dst); err != nil {
 				t.Fatal(err)
 			}
-			if got, want := h.Words(), h.(*s6Header).wordsRecomputed(); got != want {
+			if got, want := h.Words(), h.(*S6Header).wordsRecomputed(); got != want {
 				t.Fatalf("reset header: cached Words %d != recomputed %d", got, want)
 			}
 		}

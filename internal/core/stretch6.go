@@ -79,25 +79,25 @@ func (t *s6Table) words() int {
 	return w
 }
 
-// s6Stage tracks the ViaSource variant's progress through its
+// S6Stage tracks the ViaSource variant's progress through its
 // s -> w -> s -> t itinerary.
-type s6Stage int8
+type S6Stage int8
 
 const (
-	s6StageDirect s6Stage = iota
-	s6StageFetch
-	s6StageFetchReturn
-	s6StageFinal
+	S6StageDirect S6Stage = iota
+	S6StageFetch
+	S6StageFetchReturn
+	S6StageFinal
 )
 
-// s6Header is the packet header of Fig. 3.
-type s6Header struct {
+// S6Header is the packet header of Fig. 3.
+type S6Header struct {
 	Mode     Mode
 	DestName int32
 	SrcName  int32
 	SrcLabel rtz.Label
 	DictName int32 // name of the dictionary waypoint w, -1 when direct
-	Stage    s6Stage
+	Stage    S6Stage
 	Fetched  rtz.Label // R3(t) fetched at w (ViaSource variant only)
 	Leg      rtz.Header
 	LegSet   bool
@@ -110,29 +110,38 @@ type s6Header struct {
 	legW, srcW, fetchedW int32
 }
 
-func (h *s6Header) setLeg(l rtz.Header) {
+func (h *S6Header) setLeg(l rtz.Header) {
 	h.Leg = l
 	h.legW = int32(l.Words())
 	h.LegSet = true
 }
 
-func (h *s6Header) setSrcLabel(l rtz.Label) {
+func (h *S6Header) setSrcLabel(l rtz.Label) {
 	h.SrcLabel = l
 	h.srcW = int32(l.Words())
 }
 
-func (h *s6Header) setFetched(l rtz.Label) {
+func (h *S6Header) setFetched(l rtz.Label) {
 	h.Fetched = l
 	h.fetchedW = int32(l.Words())
 }
 
+// SyncCaches recomputes the cached word counts from the label fields.
+// The wire decoder writes the exported fields directly and then calls
+// this once, so a decoded header measures exactly like a live one.
+func (h *S6Header) SyncCaches() {
+	h.legW = int32(h.Leg.Words())
+	h.srcW = int32(h.SrcLabel.Words())
+	h.fetchedW = int32(h.Fetched.Words())
+}
+
 // Words implements sim.Header.
-func (h *s6Header) Words() int {
+func (h *S6Header) Words() int {
 	w := 6 + int(h.legW)
 	if h.Mode >= ModeOutbound {
 		w += int(h.srcW)
 	}
-	if h.Stage == s6StageFetchReturn || h.Stage == s6StageFinal {
+	if h.Stage == S6StageFetchReturn || h.Stage == S6StageFinal {
 		w += int(h.fetchedW)
 	}
 	return w
@@ -140,18 +149,18 @@ func (h *s6Header) Words() int {
 
 // wordsRecomputed is the reference implementation of Words, re-deriving
 // every cached component; the cache-consistency test compares the two.
-func (h *s6Header) wordsRecomputed() int {
+func (h *S6Header) wordsRecomputed() int {
 	w := 6 + h.Leg.Words()
 	if h.Mode >= ModeOutbound {
 		w += h.SrcLabel.Words()
 	}
-	if h.Stage == s6StageFetchReturn || h.Stage == s6StageFinal {
+	if h.Stage == S6StageFetchReturn || h.Stage == S6StageFinal {
 		w += h.Fetched.Words()
 	}
 	return w
 }
 
-var _ sim.Header = (*s6Header)(nil)
+var _ sim.Header = (*S6Header)(nil)
 var _ sim.Forwarder = (*StretchSix)(nil)
 var _ Scheme = (*StretchSix)(nil)
 
@@ -260,7 +269,7 @@ func (s *StretchSix) SchemeName() string {
 
 // Forward implements the Fig. 3 local routing algorithm.
 func (s *StretchSix) Forward(at graph.NodeID, header sim.Header) (graph.PortID, bool, error) {
-	h, ok := header.(*s6Header)
+	h, ok := header.(*S6Header)
 	if !ok {
 		return 0, false, fmt.Errorf("core: stretch-6 got %T header", header)
 	}
@@ -292,7 +301,7 @@ func (s *StretchSix) Forward(at graph.NodeID, header sim.Header) (graph.PortID, 
 			}
 			h.DictName = holder
 			if s.viaSource {
-				h.Stage = s6StageFetch
+				h.Stage = S6StageFetch
 			}
 			h.setLeg(rtz.Header{Dest: lbl.Node, Label: lbl, Phase: rtz.PhaseSeek})
 		}
@@ -315,17 +324,17 @@ func (s *StretchSix) Forward(at graph.NodeID, header sim.Header) (graph.PortID, 
 				return 0, false, fmt.Errorf("core: dictionary node %d lacks entry for %d", nx, h.DestName)
 			}
 			h.DictName = -1
-			if h.Stage == s6StageFetch {
+			if h.Stage == S6StageFetch {
 				// §2.2 variant: carry R3(t) back to the source first.
 				h.setFetched(lbl)
-				h.Stage = s6StageFetchReturn
+				h.Stage = S6StageFetchReturn
 				h.setLeg(rtz.Header{Dest: h.SrcLabel.Node, Label: h.SrcLabel, Phase: rtz.PhaseSeek})
 			} else {
 				h.setLeg(rtz.Header{Dest: lbl.Node, Label: lbl, Phase: rtz.PhaseSeek})
 			}
-		case nx == h.SrcName && h.Stage == s6StageFetchReturn:
+		case nx == h.SrcName && h.Stage == S6StageFetchReturn:
 			// Back at the source with the fetched address: head to t.
-			h.Stage = s6StageFinal
+			h.Stage = S6StageFinal
 			h.setLeg(rtz.Header{Dest: h.Fetched.Node, Label: h.Fetched, Phase: rtz.PhaseSeek})
 		}
 
@@ -361,7 +370,7 @@ func (s *StretchSix) NewHeader(srcName, dstName int32) (sim.Header, error) {
 	if dstName < 0 || int(dstName) >= s.perm.N() {
 		return nil, fmt.Errorf("core: destination name %d outside [0,%d)", dstName, s.perm.N())
 	}
-	h := &s6Header{Mode: ModeNewPacket, DestName: dstName, DictName: -1}
+	h := &S6Header{Mode: ModeNewPacket, DestName: dstName, DictName: -1}
 	h.legW = int32(h.Leg.Words())
 	return h, nil
 }
@@ -369,14 +378,14 @@ func (s *StretchSix) NewHeader(srcName, dstName int32) (sim.Header, error) {
 // ResetHeader implements sim.Plane: rewrite an earlier header in place
 // into a fresh Fig. 3 outbound header, allocating nothing.
 func (s *StretchSix) ResetHeader(h sim.Header, srcName, dstName int32) error {
-	hh, ok := h.(*s6Header)
+	hh, ok := h.(*S6Header)
 	if !ok {
 		return fmt.Errorf("core: stretch-6 got %T header", h)
 	}
 	if dstName < 0 || int(dstName) >= s.perm.N() {
 		return fmt.Errorf("core: destination name %d outside [0,%d)", dstName, s.perm.N())
 	}
-	*hh = s6Header{Mode: ModeNewPacket, DestName: dstName, DictName: -1}
+	*hh = S6Header{Mode: ModeNewPacket, DestName: dstName, DictName: -1}
 	hh.legW = int32(hh.Leg.Words())
 	return nil
 }
@@ -384,7 +393,7 @@ func (s *StretchSix) ResetHeader(h sim.Header, srcName, dstName int32) error {
 // BeginReturn implements sim.Plane: flip the delivered outbound header
 // into the acknowledgment leg.
 func (s *StretchSix) BeginReturn(h sim.Header) error {
-	hh, ok := h.(*s6Header)
+	hh, ok := h.(*S6Header)
 	if !ok {
 		return fmt.Errorf("core: stretch-6 got %T header", h)
 	}

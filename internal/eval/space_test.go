@@ -1,0 +1,52 @@
+package eval
+
+import (
+	"os"
+	"testing"
+)
+
+// TestEncodedSpaceSweepSmall exercises the sweep end to end at small
+// sizes: bytes and entries must grow strictly but sublinearly.
+func TestEncodedSpaceSweepSmall(t *testing.T) {
+	pts, err := EncodedSpaceSweep(EncodedSpaceConfig{Ns: []int{64, 128, 256}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].AvgBytes <= pts[i-1].AvgBytes {
+			t.Fatalf("avg bytes not increasing: %+v", pts)
+		}
+	}
+	if s := EncodedSpaceSlope(pts); s <= 0 || s >= 1 {
+		t.Fatalf("byte slope %.3f outside (0,1): per-node state must grow sublinearly", s)
+	}
+	if out := FormatEncodedSpace(pts); len(out) == 0 {
+		t.Fatal("empty report")
+	}
+}
+
+// TestEncodedSpaceCert is the E14 acceptance run over the paper-scale
+// sizes (gated: RTROUTE_LARGE=1, ~2 minutes): per-node table entries
+// must grow as O~(sqrt n) — log-log slope within [0.5, 0.65] — and
+// encoded bytes at most one log-width above it.
+func TestEncodedSpaceCert(t *testing.T) {
+	if os.Getenv("RTROUTE_LARGE") == "" {
+		t.Skip("set RTROUTE_LARGE=1 to run the n=4096 space certification")
+	}
+	pts, err := EncodedSpaceSweep(EncodedSpaceConfig{Ns: []int{256, 1024, 4096}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatEncodedSpace(pts))
+	es := EncodedEntriesSlope(pts)
+	if es < 0.5 || es > 0.65 {
+		t.Fatalf("entries/node slope %.3f outside [0.5, 0.65]", es)
+	}
+	bs := EncodedSpaceSlope(pts)
+	if bs < es || bs > 0.8 {
+		t.Fatalf("bytes/node slope %.3f outside [entries slope %.3f, 0.8]", bs, es)
+	}
+}

@@ -350,6 +350,33 @@ func (g *Graph) AddEdge(u, v NodeID, w Dist) error {
 	return nil
 }
 
+// AddEdgePort inserts the edge with an explicit port label — the
+// snapshot-restore path (graph.Read, the wire codec). The label is
+// restored verbatim; callers loading untrusted input should finish with
+// ValidatePorts, which rejects per-node duplicates.
+func (g *Graph) AddEdgePort(u, v NodeID, w Dist, port PortID) error {
+	if err := g.AddEdge(u, v, w); err != nil {
+		return err
+	}
+	g.setPort(u, len(g.out[u])-1, port)
+	return nil
+}
+
+// ValidatePorts reports the first duplicate per-node out-port label, if
+// any — the invariant EdgeByPort resolution relies on.
+func (g *Graph) ValidatePorts() error {
+	for u := range g.out {
+		seen := make(map[PortID]bool, len(g.out[u]))
+		for _, e := range g.out[u] {
+			if seen[e.Port] {
+				return fmt.Errorf("graph: node %d has duplicate port %d", u, e.Port)
+			}
+			seen[e.Port] = true
+		}
+	}
+	return nil
+}
+
 // MustAddEdge is AddEdge for construction code where the arguments are
 // known valid; it panics on error.
 func (g *Graph) MustAddEdge(u, v NodeID, w Dist) {

@@ -77,24 +77,16 @@ func Read(r io.Reader) (*Graph, error) {
 		if _, err := fmt.Sscanf(edgeLine, "e %d %d %d %d", &u, &v, &w, &port); err != nil {
 			return nil, fmt.Errorf("graph: bad edge %q at line %d: %w", edgeLine, line, err)
 		}
-		if err := g.AddEdge(u, v, w); err != nil {
+		if err := g.AddEdgePort(u, v, w, port); err != nil {
 			return nil, fmt.Errorf("graph: line %d: %w", line, err)
 		}
-		// Restore the stored port label (AddEdge assigned a default).
-		g.setPort(u, len(g.out[u])-1, port)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
 	// Reject duplicate port labels that a hand-edited file might carry.
-	for u := 0; u < n; u++ {
-		seen := make(map[PortID]bool, len(g.out[u]))
-		for _, e := range g.out[u] {
-			if seen[e.Port] {
-				return nil, fmt.Errorf("graph: node %d has duplicate port %d", u, e.Port)
-			}
-			seen[e.Port] = true
-		}
+	if err := g.ValidatePorts(); err != nil {
+		return nil, err
 	}
 	return g, nil
 }

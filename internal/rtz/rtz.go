@@ -287,6 +287,18 @@ func New(g *graph.Graph, m graph.DistanceOracle, rng *rand.Rand, cfg Config) (*S
 	return s, nil
 }
 
+// AssembleScheme rebuilds a substrate from per-node state alone — the
+// deployment/wire reassembly path. Tables and labels must be indexed by
+// node; Centers is left empty (it is construction bookkeeping, not
+// routing state).
+func AssembleScheme(g *graph.Graph, tables []*Table, labels []Label) (*Scheme, error) {
+	if len(tables) != g.N() || len(labels) != g.N() {
+		return nil, fmt.Errorf("rtz: assembling over %d nodes needs %d tables and labels, got %d/%d",
+			g.N(), g.N(), len(tables), len(labels))
+	}
+	return &Scheme{Tables: tables, Labels: labels, g: g}, nil
+}
+
 // LabelOf returns R3(v).
 func (s *Scheme) LabelOf(v graph.NodeID) Label { return s.Labels[v] }
 

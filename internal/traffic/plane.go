@@ -21,14 +21,35 @@ type Plane struct {
 // N returns the size of the plane's name universe.
 func (p *Plane) N() int { return p.n }
 
+// flattenable is implemented by wrappers (core.Deployment) whose
+// per-hop dispatch provably reduces to an inner plane; Compile
+// substitutes the inner plane so serving pays no indirection tax.
+type flattenable interface {
+	Flatten() sim.Plane
+}
+
 // Compile freezes a forwarding surface for concurrent service. The
 // returned plane shares the scheme's tables — compilation adds no copy;
 // its guarantee is that everything the hot path touches (tables, CSR
 // port index) is fully built and read-only before the first worker
-// starts, so the engine's goroutines forward with zero locks.
+// starts, so the engine's goroutines forward with zero locks. Wrapper
+// planes that can prove an indirection-free equivalent (a Deployment's
+// per-node routers all delegate to one assembled scheme) are flattened
+// here, at compile time, rather than on every hop.
 func Compile(p sim.Plane) (*Plane, error) {
 	if p == nil {
 		return nil, fmt.Errorf("traffic: nil plane")
+	}
+	for {
+		f, ok := p.(flattenable)
+		if !ok {
+			break
+		}
+		inner := f.Flatten()
+		if inner == nil || inner == p {
+			break
+		}
+		p = inner
 	}
 	g := p.Graph()
 	if g == nil {
@@ -83,6 +104,13 @@ func NewRTZPlane(sub *rtz.Scheme, perm *names.Permutation) (*RTZPlane, error) {
 	}
 	return &RTZPlane{sub: sub, perm: perm}, nil
 }
+
+// Substrate returns the wrapped stretch-3 scheme (the wire codec's
+// decomposition hook).
+func (p *RTZPlane) Substrate() *rtz.Scheme { return p.sub }
+
+// Naming returns the plane's name permutation.
+func (p *RTZPlane) Naming() *names.Permutation { return p.perm }
 
 // NewHeader implements sim.Plane.
 func (p *RTZPlane) NewHeader(srcName, dstName int32) (sim.Header, error) {
@@ -181,6 +209,13 @@ func NewHopPlane(hop *rtz.HopScheme, perm *names.Permutation) (*HopPlane, error)
 	}
 	return &HopPlane{hop: hop, perm: perm}, nil
 }
+
+// Substrate returns the wrapped hop scheme (the wire codec's
+// decomposition hook).
+func (p *HopPlane) Substrate() *rtz.HopScheme { return p.hop }
+
+// Naming returns the plane's name permutation.
+func (p *HopPlane) Naming() *names.Permutation { return p.perm }
 
 // NewHeader implements sim.Plane: it resolves the handshake R2(s,t) —
 // the pairwise state §3.3's dictionary would have stored — and arms the

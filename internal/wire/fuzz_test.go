@@ -1,0 +1,81 @@
+package wire
+
+import (
+	"testing"
+)
+
+// fuzzSeeds collects valid blobs of every kind plus adversarial
+// variants, so the fuzzers start from deep-format corpora.
+func fuzzSchemeSeeds(f *testing.F) {
+	planes, _ := testPlanes(f, 16, 21)
+	for _, p := range planes {
+		blob, err := MarshalScheme(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+		f.Add(blob[:len(blob)/2])
+		f.Add(blob[:8])
+		// Flip a mid-payload byte.
+		mut := append([]byte(nil), blob...)
+		mut[len(mut)/3] ^= 0x5a
+		f.Add(mut)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("RTWF"))
+	f.Add([]byte("RTWF\x01\x01\x01\xff\xff\xff\xff\xff\xff\xff\xff\x7f"))
+}
+
+// FuzzUnmarshalScheme: arbitrary bytes must error cleanly — never
+// panic, and never allocate beyond O(len(input)) (the decoder's count
+// guards). A successful decode must re-encode.
+func FuzzUnmarshalScheme(f *testing.F) {
+	fuzzSchemeSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dep, err := UnmarshalScheme(data)
+		if err != nil {
+			return
+		}
+		if dep == nil {
+			t.Fatal("nil deployment without error")
+		}
+		if _, err := MarshalScheme(dep); err != nil {
+			t.Fatalf("decoded deployment does not re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzUnmarshalHeader: same contract for header packets.
+func FuzzUnmarshalHeader(f *testing.F) {
+	planes, _ := testPlanes(f, 16, 22)
+	for _, p := range planes {
+		h, err := p.NewHeader(0, 1)
+		if err != nil {
+			f.Fatal(err)
+		}
+		blob, err := MarshalHeader(h)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+		f.Add(blob[:len(blob)-1])
+		mut := append([]byte(nil), blob...)
+		mut[len(mut)/2] ^= 0xff
+		f.Add(mut)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("RTWF\x01\x02\x03"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := UnmarshalHeader(data)
+		if err != nil {
+			return
+		}
+		if h == nil {
+			t.Fatal("nil header without error")
+		}
+		if _, err := MarshalHeader(h); err != nil {
+			t.Fatalf("decoded header does not re-encode: %v", err)
+		}
+		_ = h.Words()
+	})
+}

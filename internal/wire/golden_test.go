@@ -1,0 +1,65 @@
+package wire
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden wire blobs")
+
+// TestGoldenSchemes locks the wire format: committed blobs for each
+// scheme kind on a fixed seed must (a) byte-match a fresh encoding,
+// (b) decode into a route-identical deployment, and (c) re-encode to the
+// exact golden bytes. Any layout change trips this test — bump Version
+// and regenerate with `go test ./internal/wire -run TestGolden -update`.
+func TestGoldenSchemes(t *testing.T) {
+	const n = 20
+	planes, _ := testPlanes(t, n, 42)
+	keys := make([]string, 0, len(planes))
+	for k := range planes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, name := range keys {
+		p := planes[name]
+		t.Run(name, func(t *testing.T) {
+			blob, err := MarshalScheme(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", name+".rtwf")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, blob, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			if !bytes.Equal(blob, want) {
+				t.Fatalf("fresh encoding (%d bytes) differs from golden %s (%d bytes): wire format changed without a version bump",
+					len(blob), path, len(want))
+			}
+			dep, err := UnmarshalScheme(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameRoutes(t, name, p, dep, n)
+			again, err := MarshalScheme(dep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(again, want) {
+				t.Fatal("re-encoding the decoded deployment does not reproduce the golden bytes")
+			}
+		})
+	}
+}

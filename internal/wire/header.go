@@ -1,0 +1,270 @@
+package wire
+
+import (
+	"fmt"
+
+	"rtroute/internal/core"
+	"rtroute/internal/sim"
+)
+
+// MarshalHeader encodes a packet header as a self-contained byte packet:
+// envelope plus the kind-specific field layout. A header decoded on
+// another process forwards identically — the deployment route-identity
+// tests drive roundtrips through marshal/unmarshal at every hop.
+func MarshalHeader(h sim.Header) ([]byte, error) {
+	e := &encoder{}
+	switch hh := h.(type) {
+	case *core.S6Header:
+		e.envelope(blobHeader, core.KindStretchSix)
+		e.byte1(byte(hh.Mode))
+		e.i(int64(hh.DestName))
+		e.i(int64(hh.SrcName))
+		e.rtzLabel(hh.SrcLabel)
+		e.i(int64(hh.DictName))
+		e.byte1(byte(hh.Stage))
+		e.rtzLabel(hh.Fetched)
+		e.rtzHeader(hh.Leg)
+		e.b(hh.LegSet)
+	case *core.ExHeader:
+		e.envelope(blobHeader, core.KindExStretch)
+		e.byte1(byte(hh.Mode))
+		e.i(int64(hh.DestName))
+		e.i(int64(hh.SrcName))
+		e.i(int64(hh.Hop))
+		e.i(int64(hh.NextWaypointName))
+		e.u(uint64(len(hh.Stack)))
+		for _, w := range hh.Stack {
+			e.i(int64(w.Name))
+			e.handshake(w.HS)
+		}
+		e.u(uint64(len(hh.Global)))
+		for _, g := range hh.Global {
+			e.treeRef(g.Ref)
+			e.treeLabel(g.Label)
+		}
+		e.hopLeg(hh.Leg)
+		e.b(hh.LegSet)
+	case *core.PolyHeader:
+		e.envelope(blobHeader, core.KindPolynomial)
+		e.byte1(byte(hh.Mode))
+		e.i(int64(hh.DestName))
+		e.i(int64(hh.SrcName))
+		e.i(int64(hh.Level))
+		e.b(hh.Found)
+		e.treeRef(hh.Ref)
+		e.treeLabel(hh.SourceLabel)
+		e.i(int64(hh.NextWaypointName))
+		e.treeLabel(hh.Target)
+		e.b(hh.Descending)
+	case *core.RTZHeader:
+		e.envelope(blobHeader, core.KindRTZ)
+		e.i(int64(hh.SrcName))
+		e.i(int64(hh.DstName))
+		e.rtzLabel(hh.SrcLabel)
+		e.rtzHeader(hh.Leg)
+	case *core.HopHeader:
+		e.envelope(blobHeader, core.KindHop)
+		e.handshake(hh.HS)
+		e.hopLeg(hh.Leg)
+	default:
+		return nil, fmt.Errorf("wire: cannot marshal %T header", h)
+	}
+	return e.buf, nil
+}
+
+// UnmarshalHeader decodes a header packet into the kind's live header
+// type, ready to hand to the matching plane's Forward.
+func UnmarshalHeader(data []byte) (sim.Header, error) {
+	d := &decoder{data: data}
+	kind, err := d.envelope(blobHeader)
+	if err != nil {
+		return nil, err
+	}
+	var h sim.Header
+	switch kind {
+	case core.KindStretchSix:
+		h, err = decodeS6Header(d)
+	case core.KindExStretch:
+		h, err = decodeExHeader(d)
+	case core.KindPolynomial:
+		h, err = decodePolyHeader(d)
+	case core.KindRTZ:
+		h, err = decodeRTZPlaneHeader(d)
+	case core.KindHop:
+		h, err = decodeHopPlaneHeader(d)
+	default:
+		return nil, d.fail("unknown header kind %d", uint8(kind))
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+func decodeS6Header(d *decoder) (*core.S6Header, error) {
+	h := &core.S6Header{}
+	m, err := d.byte1()
+	if err != nil {
+		return nil, err
+	}
+	h.Mode = core.Mode(m)
+	if h.DestName, err = d.i32(); err != nil {
+		return nil, err
+	}
+	if h.SrcName, err = d.i32(); err != nil {
+		return nil, err
+	}
+	if h.SrcLabel, err = d.rtzLabel(); err != nil {
+		return nil, err
+	}
+	if h.DictName, err = d.i32(); err != nil {
+		return nil, err
+	}
+	st, err := d.byte1()
+	if err != nil {
+		return nil, err
+	}
+	h.Stage = core.S6Stage(st)
+	if h.Fetched, err = d.rtzLabel(); err != nil {
+		return nil, err
+	}
+	if h.Leg, err = d.rtzHeader(); err != nil {
+		return nil, err
+	}
+	if h.LegSet, err = d.b(); err != nil {
+		return nil, err
+	}
+	h.SyncCaches()
+	return h, nil
+}
+
+func decodeExHeader(d *decoder) (*core.ExHeader, error) {
+	h := &core.ExHeader{}
+	m, err := d.byte1()
+	if err != nil {
+		return nil, err
+	}
+	h.Mode = core.Mode(m)
+	if h.DestName, err = d.i32(); err != nil {
+		return nil, err
+	}
+	if h.SrcName, err = d.i32(); err != nil {
+		return nil, err
+	}
+	hop, err := d.i32()
+	if err != nil {
+		return nil, err
+	}
+	if hop < -128 || hop > 127 {
+		return nil, d.fail("hop index %d outside int8", hop)
+	}
+	h.Hop = int8(hop)
+	if h.NextWaypointName, err = d.i32(); err != nil {
+		return nil, err
+	}
+	ns, err := d.count(7)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < ns; i++ {
+		var w core.ExWaypoint
+		if w.Name, err = d.i32(); err != nil {
+			return nil, err
+		}
+		if w.HS, err = d.handshake(); err != nil {
+			return nil, err
+		}
+		h.Stack = append(h.Stack, w)
+	}
+	ng, err := d.count(3)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < ng; i++ {
+		var g core.ExGlobal
+		if g.Ref, err = d.treeRef(); err != nil {
+			return nil, err
+		}
+		if g.Label, err = d.treeLabel(); err != nil {
+			return nil, err
+		}
+		h.Global = append(h.Global, g)
+	}
+	if h.Leg, err = d.hopLeg(); err != nil {
+		return nil, err
+	}
+	if h.LegSet, err = d.b(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+func decodePolyHeader(d *decoder) (*core.PolyHeader, error) {
+	h := &core.PolyHeader{}
+	m, err := d.byte1()
+	if err != nil {
+		return nil, err
+	}
+	h.Mode = core.Mode(m)
+	if h.DestName, err = d.i32(); err != nil {
+		return nil, err
+	}
+	if h.SrcName, err = d.i32(); err != nil {
+		return nil, err
+	}
+	if h.Level, err = d.i32(); err != nil {
+		return nil, err
+	}
+	if h.Found, err = d.b(); err != nil {
+		return nil, err
+	}
+	if h.Ref, err = d.treeRef(); err != nil {
+		return nil, err
+	}
+	if h.SourceLabel, err = d.treeLabel(); err != nil {
+		return nil, err
+	}
+	if h.NextWaypointName, err = d.i32(); err != nil {
+		return nil, err
+	}
+	if h.Target, err = d.treeLabel(); err != nil {
+		return nil, err
+	}
+	if h.Descending, err = d.b(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+func decodeRTZPlaneHeader(d *decoder) (*core.RTZHeader, error) {
+	h := &core.RTZHeader{}
+	var err error
+	if h.SrcName, err = d.i32(); err != nil {
+		return nil, err
+	}
+	if h.DstName, err = d.i32(); err != nil {
+		return nil, err
+	}
+	if h.SrcLabel, err = d.rtzLabel(); err != nil {
+		return nil, err
+	}
+	if h.Leg, err = d.rtzHeader(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+func decodeHopPlaneHeader(d *decoder) (*core.HopHeader, error) {
+	h := &core.HopHeader{}
+	var err error
+	if h.HS, err = d.handshake(); err != nil {
+		return nil, err
+	}
+	if h.Leg, err = d.hopLeg(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}

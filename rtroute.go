@@ -20,14 +20,23 @@
 //	rng := rand.New(rand.NewSource(1))
 //	g := rtroute.RandomSC(64, 256, 8, rng)
 //	sys, _ := rtroute.NewSystem(g, rtroute.RandomNaming(64, rng))
-//	scheme, _ := sys.BuildStretchSix(42)
+//	scheme, _ := sys.Build(rtroute.StretchSix, rtroute.WithSeed(42))
 //	trace, _ := scheme.Roundtrip(srcName, dstName)
 //	fmt.Println(sys.Stretch(srcName, dstName, trace))
+//
+// Build is the single construction entry point for every scheme kind
+// (StretchSix, ExStretch, Polynomial, RTZStretch3, HopSubstrate); the
+// per-scheme Build* methods remain as deprecated wrappers for one
+// release. Built schemes decompose into per-node state: Deploy
+// reassembles a scheme as per-node Routers, and MarshalScheme /
+// UnmarshalScheme snapshot it through the versioned binary wire format
+// (see DESIGN.md "Wire format & deployment").
 package rtroute
 
 import (
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 
 	"rtroute/internal/blocks"
@@ -37,7 +46,6 @@ import (
 	"rtroute/internal/graph"
 	"rtroute/internal/lowerbound"
 	"rtroute/internal/names"
-	"rtroute/internal/rtz"
 	"rtroute/internal/sim"
 	"rtroute/internal/traffic"
 )
@@ -71,6 +79,9 @@ type (
 	Scheme = core.Scheme
 	// RoundtripTrace reports both legs of one routed roundtrip.
 	RoundtripTrace = sim.RoundtripTrace
+	// Header is a mutable packet header (scheme-specific; see
+	// MarshalHeader/UnmarshalHeader for the byte-packet form).
+	Header = sim.Header
 	// CoverVariant selects the sparse-cover construction.
 	CoverVariant = cover.Variant
 )
@@ -213,9 +224,16 @@ func (s *System) D(srcName, dstName int32) Dist {
 	return s.Metric.D(NodeID(s.Naming.Node(srcName)), NodeID(s.Naming.Node(dstName)))
 }
 
-// Stretch returns the roundtrip stretch of a measured trace for the pair.
+// Stretch returns the roundtrip stretch of a measured trace for the
+// pair. Unreachable pairs (roundtrip distance Inf, possible only on
+// hand-assembled Systems — NewSystem rejects non-strongly-connected
+// graphs) report +Inf explicitly rather than a finite ratio against the
+// Inf sentinel.
 func (s *System) Stretch(srcName, dstName int32, tr *RoundtripTrace) float64 {
 	r := s.R(srcName, dstName)
+	if r >= Inf {
+		return math.Inf(1)
+	}
 	if r == 0 {
 		return 1
 	}
@@ -223,27 +241,61 @@ func (s *System) Stretch(srcName, dstName int32, tr *RoundtripTrace) float64 {
 }
 
 // BuildStretchSix builds the §2 scheme (stretch 6, O~(sqrt n) tables).
+//
+// Deprecated: use Build(StretchSix, WithSeed(seed)). Kept as a thin
+// wrapper for one release.
 func (s *System) BuildStretchSix(seed int64) (*core.StretchSix, error) {
-	return core.NewStretchSix(s.Graph, s.Metric, s.Naming, rand.New(rand.NewSource(seed)), core.Stretch6Config{})
+	return s.buildS6(BuildConfig{Seed: seed})
+}
+
+func (s *System) buildS6(cfg BuildConfig) (*core.StretchSix, error) {
+	sch, err := s.BuildWith(StretchSix, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sch.(*core.StretchSix), nil
+}
+
+func (s *System) buildEx(cfg BuildConfig) (*core.ExStretch, error) {
+	sch, err := s.BuildWith(ExStretch, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sch.(*core.ExStretch), nil
+}
+
+func (s *System) buildPoly(cfg BuildConfig) (*core.PolynomialStretch, error) {
+	sch, err := s.BuildWith(Polynomial, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sch.(*core.PolynomialStretch), nil
 }
 
 // BuildStretchSixViaSource builds the §2.2 variant that fetches the
 // destination's address back to the source before routing (same worst
 // case, longer paths in practice).
+//
+// Deprecated: use Build(StretchSix, WithSeed(seed), WithViaSource()).
 func (s *System) BuildStretchSixViaSource(seed int64) (*core.StretchSix, error) {
-	return core.NewStretchSix(s.Graph, s.Metric, s.Naming, rand.New(rand.NewSource(seed)), core.Stretch6Config{ViaSource: true})
+	return s.buildS6(BuildConfig{Seed: seed, ViaSource: true})
 }
 
 // BuildExStretch builds the §3 scheme with tradeoff parameter k >= 2.
+//
+// Deprecated: use Build(ExStretch, WithK(k), WithSeed(seed)).
 func (s *System) BuildExStretch(k int, seed int64) (*core.ExStretch, error) {
-	return core.NewExStretch(s.Graph, s.Metric, s.Naming, rand.New(rand.NewSource(seed)), core.ExStretchConfig{K: k})
+	return s.buildEx(BuildConfig{Seed: seed, K: k})
 }
 
 // BuildExStretchDirectReturn builds the §3.5 variant that carries the
 // source's globally valid label and returns without retracing waypoints
 // (longer headers, bigger tables).
+//
+// Deprecated: use Build(ExStretch, WithK(k), WithSeed(seed),
+// WithDirectReturn()).
 func (s *System) BuildExStretchDirectReturn(k int, seed int64) (*core.ExStretch, error) {
-	return core.NewExStretch(s.Graph, s.Metric, s.Naming, rand.New(rand.NewSource(seed)), core.ExStretchConfig{K: k, DirectReturn: true})
+	return s.buildEx(BuildConfig{Seed: seed, K: k, DirectReturn: true})
 }
 
 // Full configuration aliases for callers needing every knob (block
@@ -261,29 +313,50 @@ type (
 )
 
 // BuildStretchSixWith builds the §2 scheme with explicit options.
+//
+// Deprecated: use Build(StretchSix, ...) or BuildWith(StretchSix, cfg).
 func (s *System) BuildStretchSixWith(seed int64, opts Stretch6Options) (*core.StretchSix, error) {
-	return core.NewStretchSix(s.Graph, s.Metric, s.Naming, rand.New(rand.NewSource(seed)), opts)
+	return s.buildS6(BuildConfig{
+		Seed: seed, Blocks: opts.Blocks, Substrate: opts.Substrate,
+		ViaSource: opts.ViaSource, BuildWorkers: opts.BuildWorkers,
+	})
 }
 
 // BuildExStretchWith builds the §3 scheme with explicit options.
+//
+// Deprecated: use Build(ExStretch, ...) or BuildWith(ExStretch, cfg).
 func (s *System) BuildExStretchWith(seed int64, opts ExStretchOptions) (*core.ExStretch, error) {
-	return core.NewExStretch(s.Graph, s.Metric, s.Naming, rand.New(rand.NewSource(seed)), opts)
+	return s.buildEx(BuildConfig{
+		Seed: seed, K: opts.K, CoverK: opts.CoverK, ScaleBase: opts.ScaleBase,
+		Variant: opts.Variant, Blocks: opts.Blocks,
+		DirectReturn: opts.DirectReturn, BuildWorkers: opts.BuildWorkers,
+	})
 }
 
 // BuildPolynomialWith builds the §4 scheme with explicit options.
+//
+// Deprecated: use Build(Polynomial, ...) or BuildWith(Polynomial, cfg).
 func (s *System) BuildPolynomialWith(opts PolyOptions) (*core.PolynomialStretch, error) {
-	return core.NewPolynomialStretch(s.Graph, s.Metric, s.Naming, opts)
+	return s.buildPoly(BuildConfig{
+		K: opts.K, ScaleBase: opts.ScaleBase, Variant: opts.Variant,
+		BuildWorkers: opts.BuildWorkers,
+	})
 }
 
 // BuildPolynomial builds the §4 scheme with tradeoff parameter k >= 2.
+//
+// Deprecated: use Build(Polynomial, WithK(k)).
 func (s *System) BuildPolynomial(k int) (*core.PolynomialStretch, error) {
-	return core.NewPolynomialStretch(s.Graph, s.Metric, s.Naming, core.PolyConfig{K: k})
+	return s.buildPoly(BuildConfig{K: k})
 }
 
 // BuildPolynomialVariant builds the §4 scheme with an explicit cover
 // variant and scale base (the §4.4 ablation knobs).
+//
+// Deprecated: use Build(Polynomial, WithK(k), WithScaleBase(base),
+// WithCoverVariant(v)).
 func (s *System) BuildPolynomialVariant(k int, base float64, v CoverVariant) (*core.PolynomialStretch, error) {
-	return core.NewPolynomialStretch(s.Graph, s.Metric, s.Naming, core.PolyConfig{K: k, ScaleBase: base, Variant: v})
+	return s.buildPoly(BuildConfig{K: k, ScaleBase: base, Variant: v})
 }
 
 // Experiment harness re-exports (see DESIGN.md's experiment index).
@@ -303,6 +376,24 @@ func Fig1(cfg Fig1Config) ([]Fig1Row, error) { return eval.Fig1(cfg) }
 
 // FormatFig1 renders Fig-1 rows as an aligned text table.
 func FormatFig1(rows []Fig1Row) string { return eval.FormatRows(rows) }
+
+// EncodedSpacePoint is one sample of the encoded-bytes space report.
+type EncodedSpacePoint = eval.EncodedSpacePoint
+
+// EncodedSpaceConfig tunes EncodedSpaceSweep.
+type EncodedSpaceConfig = eval.EncodedSpaceConfig
+
+// EncodedSpaceSweep measures per-node routing state in wire bytes across
+// graph sizes — the empirical Theorem 6 space certification (E14).
+func EncodedSpaceSweep(cfg EncodedSpaceConfig) ([]EncodedSpacePoint, error) {
+	return eval.EncodedSpaceSweep(cfg)
+}
+
+// EncodedSpaceSlope fits the log-log growth exponent of a sweep.
+func EncodedSpaceSlope(pts []EncodedSpacePoint) float64 { return eval.EncodedSpaceSlope(pts) }
+
+// FormatEncodedSpace renders an encoded space sweep as text.
+func FormatEncodedSpace(pts []EncodedSpacePoint) string { return eval.FormatEncodedSpace(pts) }
 
 // SpaceSweep measures stretch-6 table sizes across graph sizes (E9).
 func SpaceSweep(ns []int, seed int64) ([]eval.SpacePoint, error) { return eval.SpaceSweep(ns, seed) }
@@ -378,22 +469,18 @@ func (s *System) ServeTraffic(plane ForwardingPlane, cfg TrafficConfig) (*Traffi
 // BuildRTZPlane builds the name-dependent RTZ stretch-3 substrate and
 // wraps it as a servable forwarding plane — the [35] baseline for the
 // E12 serving experiments.
+//
+// Deprecated: use Build(RTZStretch3, WithSeed(seed)).
 func (s *System) BuildRTZPlane(seed int64) (ForwardingPlane, error) {
-	sub, err := rtz.New(s.Graph, s.Metric, rand.New(rand.NewSource(seed)), rtz.Config{})
-	if err != nil {
-		return nil, err
-	}
-	return traffic.NewRTZPlane(sub, s.Naming)
+	return s.Build(RTZStretch3, WithSeed(seed))
 }
 
 // BuildHopPlane builds the Lemma 5 double-tree-cover substrate with
 // cover parameter k >= 2 and wraps it as a servable forwarding plane.
+//
+// Deprecated: use Build(HopSubstrate, WithK(k)).
 func (s *System) BuildHopPlane(k int) (ForwardingPlane, error) {
-	hop, err := rtz.NewHop(s.Graph, s.Metric, k, 2, cover.VariantAwerbuchPeleg)
-	if err != nil {
-		return nil, err
-	}
-	return traffic.NewHopPlane(hop, s.Naming)
+	return s.Build(HopSubstrate, WithK(k))
 }
 
 // FormatTraffic renders a traffic result as the E12 serving report.
