@@ -6,7 +6,7 @@ BENCH_PATTERN ?= Dijkstra|EdgeByPort|MetricBuild|TrafficThroughput
 COUNT ?= 5
 OUT ?= bench-new.txt
 
-.PHONY: all build test verify race short large bench bench-smoke bench-json benchcmp fmt vet lint ci traffic traffic-large fuzz-smoke sizes
+.PHONY: all build test verify race short large bench bench-smoke bench-json benchcmp fmt vet lint ci traffic traffic-large cluster docs fuzz-smoke sizes
 
 all: verify
 
@@ -24,6 +24,7 @@ verify: build test fuzz-smoke
 fuzz-smoke:
 	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzUnmarshalScheme -fuzztime 5s
 	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzUnmarshalHeader -fuzztime 5s
+	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzUnmarshalFrame -fuzztime 5s
 
 # E14 space certification: per-node encoded bytes across n=256..4096
 # (also: rtroute -sizes).
@@ -52,6 +53,18 @@ traffic:
 traffic-large:
 	RTROUTE_LARGE=1 $(GO) test -run TestTrafficLargeScale -v -timeout 3600s .
 
+# Smoke-sized sharded cluster serving under the race detector: 8 shards
+# over the channel bus via rtbench, then the loopback-TCP daemon round
+# (E15); both wire-encode every boundary-crossing packet.
+cluster:
+	$(GO) run -race ./cmd/rtbench -exp cluster -n 96 -packets 20000 -shards 8 -placement rtz -seed 1
+	$(GO) test -race -run 'TestClusterMatchesSequentialRun|TestTCPLoopback' ./internal/cluster
+
+# Docs gate: README/DESIGN Go fences must parse (gofmt-clean when
+# written as complete files) and relative links must resolve.
+docs:
+	$(GO) run ./internal/docscheck README.md DESIGN.md
+
 bench:
 	$(GO) test -run XXX -bench . -benchmem ./...
 
@@ -63,7 +76,7 @@ bench-smoke:
 # Canonical perf suite -> committed trajectory artifact (E13). Bump the
 # output name per PR: BENCH_PR3.json, BENCH_PR4.json, ...
 bench-json:
-	$(GO) run ./cmd/rtbench -exp bench -json -out BENCH_PR4.json
+	$(GO) run ./cmd/rtbench -exp bench -json -out BENCH_PR5.json
 
 # Before/after comparisons: run `make benchcmp OUT=old.txt` on the old
 # commit, again with OUT=new.txt on the new one, then
@@ -81,4 +94,4 @@ vet:
 
 lint: fmt vet
 
-ci: lint build race traffic bench-smoke fuzz-smoke
+ci: lint build race traffic cluster docs bench-smoke fuzz-smoke

@@ -435,3 +435,9 @@ func BenchmarkMarshalScheme(b *testing.B) { benchsuite.BenchMarshalScheme(b) }
 // per-node-Router Deployment; the PR4 bar is within 10% of the
 // monolithic compiled plane (BenchmarkTrafficThroughput workers=1).
 func BenchmarkDeploymentForward(b *testing.B) { benchsuite.BenchDeploymentForward(b) }
+
+// BenchmarkClusterThroughput is scaling study S6: the same restored
+// Deployment sharded across an 8-shard channel-bus cluster, every
+// boundary-crossing hop wire-encoded (internal/benchsuite: identical
+// body serves `rtbench -exp bench`).
+func BenchmarkClusterThroughput(b *testing.B) { benchsuite.BenchClusterThroughput(b) }

@@ -13,7 +13,9 @@
 //	rtbench -exp ablation -n 36 -seed 1        # cover-variant ablation (E10)
 //	rtbench -exp traffic -n 256 -packets 200000 -workload zipf -workers 4
 //	                                           # concurrent serving engine (E12/S3)
-//	rtbench -exp bench -json -out BENCH_PR4.json
+//	rtbench -exp cluster -n 256 -shards 8 -placement rtz -packets 200000
+//	                                           # sharded cluster serving (E15/S6)
+//	rtbench -exp bench -json -out BENCH_PR5.json
 //	                                           # canonical perf suite -> trajectory artifact (E13)
 package main
 
@@ -31,7 +33,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "fig1", "experiment: fig1|fig2|fig5|fig10|space|stretch|profile|lower|ablation|traffic|bench")
+		exp    = flag.String("exp", "fig1", "experiment: fig1|fig2|fig5|fig10|space|stretch|profile|lower|ablation|traffic|cluster|bench")
 		n      = flag.Int("n", 64, "number of nodes")
 		seed   = flag.Int64("seed", 1, "random seed")
 		ks     = flag.String("k", "2,3", "comma-separated tradeoff parameters")
@@ -39,12 +41,15 @@ func main() {
 		cache  = flag.Int("lazy-cache", 0, "lazy oracle row-cache budget (0 = default)")
 	)
 	flag.BoolVar(&benchJSON, "json", false, "bench: also write the report as JSON")
-	flag.StringVar(&benchOut, "out", "BENCH_PR4.json", "bench: JSON output path (with -json)")
+	flag.StringVar(&benchOut, "out", "BENCH_PR5.json", "bench: JSON output path (with -json)")
 	flag.IntVar(&trafficWorkers, "workers", 0, "traffic: serving goroutines (0 = GOMAXPROCS)")
 	flag.StringVar(&trafficWorkload, "workload", "zipf", "traffic: pair distribution: uniform|zipf|hotspot|rpc")
 	flag.Float64Var(&trafficZipf, "zipf", 0.9, "traffic: zipf skew theta in [0,1)")
 	flag.Int64Var(&trafficPackets, "packets", 200000, "traffic: roundtrips to serve")
 	flag.StringVar(&trafficScheme, "scheme", "stretch6", "traffic: plane to serve: stretch6|exstretch|poly|rtz|hop")
+	flag.IntVar(&clusterShards, "shards", 8, "cluster: number of serving shards")
+	flag.StringVar(&clusterPlacement, "placement", "contiguous", "cluster: node partition: contiguous|hash|rtz")
+	flag.IntVar(&clusterInFlight, "inflight", 0, "cluster: concurrent roundtrip window (0 = default)")
 	flag.Parse()
 	metricKind = rtroute.MetricKind(*metric)
 	lazyCacheRows = *cache
@@ -72,6 +77,11 @@ var (
 	trafficZipf     float64
 	trafficPackets  int64
 	trafficScheme   string
+
+	// -exp cluster knobs.
+	clusterShards    int
+	clusterPlacement string
+	clusterInFlight  int
 
 	// -exp bench knobs.
 	benchJSON bool
@@ -117,6 +127,8 @@ func run(exp string, n int, seed int64, ks []int) error {
 		return runAblation(n, seed)
 	case "traffic":
 		return runTraffic(n, seed)
+	case "cluster":
+		return runCluster(n, seed)
 	case "bench":
 		return runBench()
 	default:
@@ -146,6 +158,27 @@ func runBench() error {
 	return nil
 }
 
+// buildServingScheme builds the -scheme plane for the serving
+// experiments through the unified Build entry point.
+func buildServingScheme(sys *rtroute.System, seed int64) (rtroute.Scheme, error) {
+	var kind rtroute.SchemeKind
+	switch trafficScheme {
+	case "stretch6":
+		kind = rtroute.StretchSix
+	case "exstretch":
+		kind = rtroute.ExStretch
+	case "poly":
+		kind = rtroute.Polynomial
+	case "rtz":
+		kind = rtroute.RTZStretch3
+	case "hop":
+		kind = rtroute.HopSubstrate
+	default:
+		return nil, fmt.Errorf("unknown -scheme %q (want stretch6|exstretch|poly|rtz|hop)", trafficScheme)
+	}
+	return sys.Build(kind, rtroute.WithSeed(seed), rtroute.WithK(2))
+}
+
 func runTraffic(n int, seed int64) error {
 	fmt.Printf("# E12/S3 — concurrent routed-traffic serving (n=%d, seed=%d, scheme=%s, workload=%s, metric=%s)\n\n",
 		n, seed, trafficScheme, trafficWorkload, metricKind)
@@ -155,21 +188,7 @@ func runTraffic(n int, seed int64) error {
 	if err != nil {
 		return err
 	}
-	var plane rtroute.ForwardingPlane
-	switch trafficScheme {
-	case "stretch6":
-		plane, err = sys.BuildStretchSix(seed)
-	case "exstretch":
-		plane, err = sys.BuildExStretch(2, seed)
-	case "poly":
-		plane, err = sys.BuildPolynomial(2)
-	case "rtz":
-		plane, err = sys.BuildRTZPlane(seed)
-	case "hop":
-		plane, err = sys.BuildHopPlane(2)
-	default:
-		return fmt.Errorf("unknown -scheme %q (want stretch6|exstretch|poly|rtz|hop)", trafficScheme)
-	}
+	plane, err := buildServingScheme(sys, seed)
 	if err != nil {
 		return err
 	}
@@ -187,6 +206,44 @@ func runTraffic(n int, seed int64) error {
 	}
 	fmt.Print(rtroute.FormatTraffic(res))
 	fmt.Println("\nstretch is measured over true roundtrip distances; skewed workloads reuse hot oracle rows")
+	return nil
+}
+
+// runCluster is the E15 sharded-serving experiment: the same workloads
+// as -exp traffic, served by an in-process shard cluster that
+// wire-encodes every boundary-crossing packet, reported with the
+// cross-shard hop accounting the placement policies compete on.
+func runCluster(n int, seed int64) error {
+	fmt.Printf("# E15/S6 — sharded cluster serving (n=%d, seed=%d, scheme=%s, workload=%s, shards=%d, placement=%s)\n\n",
+		n, seed, trafficScheme, trafficWorkload, clusterShards, clusterPlacement)
+	rng := rand.New(rand.NewSource(seed))
+	g := rtroute.RandomSC(n, 4*n, 8, rng)
+	sys, err := newSystem(g, rtroute.RandomNaming(n, rng))
+	if err != nil {
+		return err
+	}
+	sch, err := buildServingScheme(sys, seed)
+	if err != nil {
+		return err
+	}
+	res, err := sys.ServeCluster(sch, rtroute.ClusterConfig{
+		Shards:    clusterShards,
+		Workers:   trafficWorkers,
+		Placement: rtroute.PlacementPolicy(clusterPlacement),
+		Packets:   trafficPackets,
+		Seed:      seed,
+		Workload: rtroute.TrafficWorkload{
+			Kind:      rtroute.WorkloadKind(trafficWorkload),
+			ZipfTheta: trafficZipf,
+		},
+		SampleEvery: 101,
+		InFlight:    clusterInFlight,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rtroute.FormatCluster(res))
+	fmt.Println("\npackets cross shard boundaries as wire-encoded frames; see DESIGN.md \"Cluster serving\"")
 	return nil
 }
 

@@ -1,8 +1,9 @@
 // Command rtroute builds a routing scheme over a generated network and
 // traces roundtrips interactively from the command line. It also
 // exercises the wire codec end to end: -save snapshots a built scheme to
-// disk, -load serves routes from a snapshot (no rebuild), and -sizes
-// prints the per-node encoded-bytes space report.
+// disk, -load serves routes from a snapshot (no rebuild), -sizes prints
+// the per-node encoded-bytes space report, and -connect routes through
+// a running rtserve shard cluster instead of a local scheme.
 //
 // Usage:
 //
@@ -12,9 +13,12 @@
 //	rtroute -n 256 -scheme stretch6 -save s6.rtwf
 //	rtroute -load s6.rtwf -all
 //	rtroute -sizes
+//	rtroute -connect 127.0.0.1:7070 -src 3 -dst 17
+//	rtroute -connect 127.0.0.1:7070 -pairs 100 -seed 2
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -24,6 +28,7 @@ import (
 	"time"
 
 	"rtroute"
+	"rtroute/internal/cluster"
 )
 
 func main() {
@@ -43,11 +48,20 @@ func main() {
 		load    = flag.String("load", "", "serve from a scheme snapshot instead of building (graph+naming+tables restored from the file)")
 		sizes   = flag.Bool("sizes", false, "print the per-node encoded-bytes space report (Theorem 6 certification) and exit")
 		sizesNs = flag.String("sizes-ns", "256,1024,4096", "comma-separated graph sizes for -sizes")
+		connect = flag.String("connect", "", "route through a running rtserve cluster at this shard address instead of a local scheme")
+		pairs   = flag.Int("pairs", 0, "with -connect: route this many random pairs and summarize (0 = the single -src/-dst pair)")
 	)
 	flag.Parse()
 
 	if *sizes {
 		if err := runSizes(*sizesNs, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "rtroute:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *connect != "" {
+		if err := runConnect(*connect, int32(*src), int32(*dst), *pairs, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "rtroute:", err)
 			os.Exit(1)
 		}
@@ -81,6 +95,59 @@ func runSizes(nsSpec string, seed int64) error {
 		return err
 	}
 	fmt.Print(rtroute.FormatEncodedSpace(pts))
+	return nil
+}
+
+// runConnect is the network-client mode: roundtrips are injected into a
+// running rtserve shard cluster and certified totals come back as Done
+// frames — no scheme is built or loaded locally.
+func runConnect(addr string, src, dst int32, pairs int, seed int64) error {
+	cl, err := cluster.DialClient(addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	kind, n, shards, err := cl.Info()
+	if err != nil {
+		return fmt.Errorf("cluster info from %s: %w", addr, err)
+	}
+	fmt.Printf("connected to %s: scheme %s, n=%d, %d shards\n", addr, kind, n, shards)
+	if pairs <= 0 {
+		if int(src) >= n || int(dst) >= n || src < 0 || dst < 0 || src == dst {
+			return fmt.Errorf("names must be distinct and in [0,%d)", n)
+		}
+		out, back, err := cl.Roundtrip(src, dst)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("roundtrip %d -> %d -> %d\n", src, dst, src)
+		fmt.Printf("  routed weight:  %d (out %d + back %d)\n", out.Weight+back.Weight, out.Weight, back.Weight)
+		fmt.Printf("  hops:           %d (out %d + back %d)\n", out.Hops+back.Hops, out.Hops, back.Hops)
+		fmt.Printf("  max header:     %d words\n", max(out.MaxHeaderWords, back.MaxHeaderWords))
+		return nil
+	}
+	if n < 2 {
+		return fmt.Errorf("cluster serves %d node(s); -pairs needs at least 2", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var hops, weight int64
+	start := time.Now()
+	for i := 0; i < pairs; i++ {
+		s := int32(rng.Intn(n))
+		d := int32(rng.Intn(n - 1))
+		if d >= s {
+			d++
+		}
+		out, back, err := cl.Roundtrip(s, d)
+		if err != nil {
+			return fmt.Errorf("pair %d (%d->%d): %w", i, s, d, err)
+		}
+		hops += int64(out.Hops) + int64(back.Hops)
+		weight += int64(out.Weight) + int64(back.Weight)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%d roundtrips over the cluster: %d hops, total weight %d\n", pairs, hops, weight)
+	fmt.Printf("%.0f roundtrips/s (single synchronous client)\n", float64(pairs)/elapsed.Seconds())
 	return nil
 }
 
@@ -141,6 +208,18 @@ func run(n int, seed int64, schemeName string, k int, src, dst int32, all bool,
 		if err != nil {
 			return err
 		}
+		// Say what the snapshot is before the (potentially long) table
+		// decode and oracle build, and turn a version mismatch into a
+		// clear message instead of a raw decode error.
+		info, err := rtroute.PeekSnapshot(data)
+		if err != nil {
+			if errors.Is(err, rtroute.ErrSnapshotVersion) {
+				return fmt.Errorf("%s was written by wire-format version %d; this build reads version %d — "+
+					"rebuild the snapshot with this release's rtroute -save", load, info.Version, rtroute.SnapshotVersion)
+			}
+			return fmt.Errorf("reading %s: %w", load, err)
+		}
+		fmt.Printf("snapshot %s: scheme %s, n=%d (format v%d)\n", load, info.Kind, info.Nodes, info.Version)
 		dep, err := rtroute.UnmarshalScheme(data)
 		if err != nil {
 			return fmt.Errorf("loading %s: %w", load, err)

@@ -1,0 +1,101 @@
+// Command rtserve runs one shard of a networked routing cluster: it
+// restores a scheme snapshot (rtroute -save), takes ownership of its
+// placement slice of the per-node routers, listens for wire frames on
+// its address, and serves forever — forwarding local hops with
+// shard-local state only and shipping boundary-crossing packets to the
+// peer daemons named in -addrs. Every daemon computes the identical
+// deterministic placement from its own copy of the snapshot, so the
+// cluster needs no coordinator.
+//
+// A two-shard cluster on one machine:
+//
+//	rtroute -n 64 -scheme stretch6 -save s6.rtwf
+//	rtserve -shard 0 -addrs 127.0.0.1:7070,127.0.0.1:7071 -load s6.rtwf &
+//	rtserve -shard 1 -addrs 127.0.0.1:7070,127.0.0.1:7071 -load s6.rtwf &
+//	rtroute -connect 127.0.0.1:7070 -src 3 -dst 17
+//
+// Stop a daemon with SIGINT/SIGTERM; it prints its serving stats on the
+// way down.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"rtroute/internal/cluster"
+	"rtroute/internal/wire"
+)
+
+func main() {
+	var (
+		shard     = flag.Int("shard", 0, "this daemon's shard index into -addrs")
+		addrsSpec = flag.String("addrs", "", "comma-separated shard addresses (host:port); one entry per shard")
+		load      = flag.String("load", "", "scheme snapshot to serve (wire format, from rtroute -save)")
+		placement = flag.String("placement", "contiguous", "node partition: contiguous|hash|rtz")
+		workers   = flag.Int("workers", 1, "serving goroutines for this shard")
+		batch     = flag.Int("batch", 64, "mailbox dequeue batch size")
+	)
+	flag.Parse()
+	if err := run(*shard, *addrsSpec, *load, *placement, *workers, *batch); err != nil {
+		fmt.Fprintln(os.Stderr, "rtserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(shard int, addrsSpec, load, placement string, workers, batch int) error {
+	if load == "" {
+		return fmt.Errorf("-load is required (snapshot from rtroute -save)")
+	}
+	addrs := strings.Split(addrsSpec, ",")
+	if addrsSpec == "" || len(addrs) < 1 {
+		return fmt.Errorf("-addrs is required (comma-separated, one address per shard)")
+	}
+	if shard < 0 || shard >= len(addrs) {
+		return fmt.Errorf("-shard %d outside the %d-address list", shard, len(addrs))
+	}
+	data, err := os.ReadFile(load)
+	if err != nil {
+		return err
+	}
+	info, err := wire.PeekSnapshot(data)
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", load, err)
+	}
+	fmt.Printf("snapshot %s: scheme %s, n=%d (format v%d)\n", load, info.Kind, info.Nodes, info.Version)
+	dep, err := wire.UnmarshalScheme(data)
+	if err != nil {
+		return fmt.Errorf("loading %s: %w", load, err)
+	}
+	place, err := cluster.NewPlacement(dep, len(addrs), cluster.Policy(placement))
+	if err != nil {
+		return err
+	}
+	view, err := dep.ShardView(shard, place.Owner)
+	if err != nil {
+		return err
+	}
+	dep.Graph().Seal()
+	tr, err := cluster.ListenTCP(shard, addrs)
+	if err != nil {
+		return err
+	}
+	sh := cluster.NewShard(view, place, tr, cluster.Options{Workers: workers, Batch: batch})
+	fmt.Printf("shard %d/%d serving %d of %d nodes (%s placement) on %s with %d workers\n",
+		shard, len(addrs), view.NodeCount(), dep.Graph().N(), place.Policy, tr.Addr(), workers)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		tr.Close()
+	}()
+	err = sh.Serve()
+	st := sh.Stats()
+	fmt.Printf("shard %d stopped: %d roundtrips completed here, %d hops, %d frames in, %d frames out, %d errors\n",
+		st.Shard, st.Packets, st.Hops, st.FramesIn, st.FramesOut, st.Errors)
+	return err
+}

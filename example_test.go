@@ -28,16 +28,16 @@ func ExampleNewSystem() {
 	// Output: true
 }
 
-// ExampleSystem_BuildPolynomial demonstrates the §4 polynomial-tradeoff
-// scheme and its worst-case bound 8k^2+4k-4.
-func ExampleSystem_BuildPolynomial() {
+// ExampleSystem_Build demonstrates the §4 polynomial-tradeoff scheme —
+// Build(Polynomial, WithK(2)) — and its worst-case bound 8k^2+4k-4.
+func ExampleSystem_Build() {
 	rng := rand.New(rand.NewSource(2))
 	g := rtroute.Grid(4, 4, rng)
 	sys, err := rtroute.NewSystem(g, rtroute.RandomNaming(16, rng))
 	if err != nil {
 		panic(err)
 	}
-	poly, err := sys.BuildPolynomial(2)
+	poly, err := sys.Build(rtroute.Polynomial, rtroute.WithK(2))
 	if err != nil {
 		panic(err)
 	}
@@ -70,7 +70,7 @@ func ExampleNewDirectory() {
 }
 
 // ExampleMeasureScheme aggregates stretch over sampled pairs — the
-// building block of every experiment in EXPERIMENTS.md.
+// building block of the DESIGN.md experiment index.
 func ExampleMeasureScheme() {
 	rng := rand.New(rand.NewSource(4))
 	g := rtroute.RandomSC(24, 96, 5, rng)
@@ -87,5 +87,32 @@ func ExampleMeasureScheme() {
 		panic(err)
 	}
 	fmt.Println(stats.Pairs == 200, stats.Max <= 6, stats.Mean >= 1)
+	// Output: true true true
+}
+
+// ExampleSystem_ServeCluster shards a scheme across an in-process
+// 8-shard cluster: packets cross shard boundaries as wire-encoded
+// frames, and the served aggregates equal a sequential replay's.
+func ExampleSystem_ServeCluster() {
+	rng := rand.New(rand.NewSource(8))
+	g := rtroute.RandomSC(48, 192, 8, rng)
+	sys, err := rtroute.NewSystem(g, rtroute.RandomNaming(48, rng))
+	if err != nil {
+		panic(err)
+	}
+	scheme, err := sys.Build(rtroute.StretchSix, rtroute.WithSeed(8))
+	if err != nil {
+		panic(err)
+	}
+	res, err := sys.ServeCluster(scheme, rtroute.ClusterConfig{
+		Shards:    8,
+		Placement: rtroute.PlaceRTZAligned,
+		Packets:   2000,
+		Seed:      1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Packets == 2000, res.CrossShard > 0, res.Stretch.Max <= 6)
 	// Output: true true true
 }

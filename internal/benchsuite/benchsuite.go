@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"rtroute/internal/cluster"
 	"rtroute/internal/core"
 	"rtroute/internal/graph"
 	"rtroute/internal/names"
@@ -109,6 +110,7 @@ func suite() []entry {
 		{"metricbuild/lazy-single-row", BenchMetricLazySingleRow},
 		{"traffic/stretch6-workers=1", BenchTrafficSingleWorker},
 		{"traffic/deployment-workers=1", BenchDeploymentForward},
+		{"cluster/stretch6-shards=8", BenchClusterThroughput},
 		{"wire/marshal-stretch6", BenchMarshalScheme},
 	}
 }
@@ -300,6 +302,39 @@ func BenchDeploymentForward(b *testing.B) {
 		b.Fatal(err)
 	}
 	benchServe(b, pl)
+}
+
+// BenchClusterThroughput serves the Zipf workload through an 8-shard
+// channel-bus cluster of the wire-restored Deployment: every
+// boundary-crossing hop marshals the live header into a packet frame
+// and the owning shard decodes and resumes it — the E15 serving row.
+// Cross-shard frames per roundtrip is reported alongside the rates.
+func BenchClusterThroughput(b *testing.B) {
+	blob, err := wire.MarshalScheme(benchStretchSix(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dep, err := wire.UnmarshalScheme(blob)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	res, err := cluster.Run(dep, cluster.Config{
+		Shards:    8,
+		Placement: cluster.RTZAligned,
+		Packets:   int64(b.N),
+		Seed:      1,
+		InFlight:  4096,
+		Workload:  traffic.Spec{Kind: traffic.Zipf},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.PacketsPerSec(), "packets/s")
+	b.ReportMetric(res.HopsPerSec(), "hops/s")
+	if res.Packets > 0 {
+		b.ReportMetric(float64(res.CrossShard)/float64(res.Packets), "xframes/rt")
+	}
 }
 
 // BenchMarshalScheme measures full-scheme snapshot encoding (256-node

@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+
+	"rtroute/internal/core"
+	"rtroute/internal/wire"
+)
+
+// Client is a roundtrip client of a TCP cluster: it dials any shard
+// daemon, asks it to describe the deployment, and injects roundtrips.
+// The dialed shard stamps each inject with a reply route and — when the
+// source node lives elsewhere — re-routes it to the owner, so a client
+// needs one connection to one daemon, not the whole address list. The
+// completion report always comes back on this connection.
+//
+// A Client is synchronous and not safe for concurrent use; open one per
+// goroutine (the daemons multiplex any number).
+type Client struct {
+	conn net.Conn
+	rd   *bufio.Reader
+}
+
+// DialClient connects to one shard daemon.
+func DialClient(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, rd: bufio.NewReader(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) send(f *wire.Frame) error {
+	data, err := wire.MarshalFrame(f, nil)
+	if err != nil {
+		return err
+	}
+	return (&tcpConn{c: c.conn}).writeFrame(data)
+}
+
+func (c *Client) recv(want wire.FrameKind, f *wire.Frame) error {
+	data, err := readFrame(c.rd)
+	if err != nil {
+		return err
+	}
+	if err := wire.UnmarshalFrame(data, f); err != nil {
+		return err
+	}
+	if f.Kind != want {
+		return fmt.Errorf("cluster: expected %d frame, got %d", want, f.Kind)
+	}
+	return nil
+}
+
+// Info asks the dialed shard what it serves.
+func (c *Client) Info() (kind core.Kind, nodes, shards int, err error) {
+	if err := c.send(&wire.Frame{Kind: wire.FrameInfoReq}); err != nil {
+		return 0, 0, 0, err
+	}
+	var f wire.Frame
+	if err := c.recv(wire.FrameInfo, &f); err != nil {
+		return 0, 0, 0, err
+	}
+	return f.SchemeKind, int(f.Nodes), int(f.Shards), nil
+}
+
+// Roundtrip routes one roundtrip srcName -> dstName -> srcName through
+// the cluster and returns both legs' totals.
+func (c *Client) Roundtrip(srcName, dstName int32) (out, back wire.LegTotals, err error) {
+	err = c.send(&wire.Frame{
+		Kind: wire.FrameInject, SrcName: srcName, DstName: dstName, Home: wire.HomeClient,
+	})
+	if err != nil {
+		return out, back, err
+	}
+	var f wire.Frame
+	if err := c.recv(wire.FrameDone, &f); err != nil {
+		return out, back, err
+	}
+	if f.SrcName != srcName || f.DstName != dstName {
+		return out, back, fmt.Errorf("cluster: completion for (%d,%d), expected (%d,%d)",
+			f.SrcName, f.DstName, srcName, dstName)
+	}
+	return f.Out, f.Back, nil
+}

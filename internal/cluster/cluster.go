@@ -1,0 +1,301 @@
+// Package cluster is the networked shard-serving layer: it partitions a
+// Deployment's per-node Routers across S shards and forwards packets
+// *between* shards as wire-encoded frames over a pluggable Transport —
+// the step from "per-node state suffices in one process" (PR 4's
+// deployment) to "routers live on different machines", which is the
+// regime the paper's topology-independent names and sublinear tables
+// are for.
+//
+// A shard owns a subset of nodes (Placement: contiguous, hashed, or
+// aligned to the scheme's own stretch-3 clusters) and forwards packets
+// hop by hop with only its nodes' local state (core.ShardView). When a
+// packet's next node belongs to another shard, the live header is
+// marshaled (wire.MarshalHeader) into a packet frame together with the
+// roundtrip's routing preamble and shipped to the owner, who resumes
+// the leg exactly where it stopped — sim.FlySegment makes the chain of
+// per-shard segments hop-for-hop identical to one single-process fly
+// loop, which is what the route-identity tests certify against
+// sim.Run.
+//
+// Two transports share the protocol: ChanBus (bounded in-process
+// mailboxes — deterministic tests and benchmarks) and TCPTransport
+// (length-prefixed frames over sockets — one rtserve daemon per shard,
+// rtroute -connect as client). Run is the in-process engine with
+// traffic-engine-shaped stats; Shard.Serve is the daemon loop.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rtroute/internal/core"
+	"rtroute/internal/eval"
+	"rtroute/internal/graph"
+	"rtroute/internal/sim"
+	"rtroute/internal/traffic"
+	"rtroute/internal/wire"
+)
+
+// Config parameterizes one in-process cluster run.
+type Config struct {
+	// Shards is the number of serving shards (default 8).
+	Shards int
+	// Workers is each shard's serving pool size (default 1).
+	Workers int
+	// Placement selects the node partition (default Contiguous).
+	Placement Policy
+	// Packets is the total number of roundtrips to serve; required > 0.
+	Packets int64
+	// Workload selects the pair distribution (zero value = uniform).
+	Workload traffic.Spec
+	// Seed makes the workload reproducible: same (Seed, Injectors,
+	// Workload, Packets) injects the identical pair multiset.
+	Seed int64
+	// MaxHops bounds each leg (0 = sim's default 4n budget).
+	MaxHops int
+	// Oracle, when non-nil, enables stretch accounting over the sampled
+	// packets (consulted only in the post-run merge, never on the hot
+	// path).
+	Oracle graph.DistanceOracle
+	// SampleEvery marks every k-th packet of each injector stream for
+	// stretch accounting (0 or 1 = every packet).
+	SampleEvery int
+	// Injectors is the number of deterministic injection streams
+	// (default = Shards). Part of the pair-multiset contract.
+	Injectors int
+	// InFlight caps concurrently live roundtrips (default 512). With
+	// every live roundtrip occupying at most one queued frame, mailbox
+	// capacity = InFlight makes the bus deadlock-free by counting.
+	InFlight int
+	// Batch bounds one mailbox dequeue (default 64).
+	Batch int
+}
+
+// Result aggregates one cluster run, shaped like traffic.Result plus
+// the cross-shard accounting.
+type Result struct {
+	Shards    int
+	Workers   int
+	Placement Policy
+	Packets   int64
+	Hops      int64
+	Weight    int64
+	// CrossShard counts packet frames shipped between shards — hops
+	// whose tail and head live on different shards.
+	CrossShard int64
+	Elapsed    time.Duration
+	HopHist    eval.Hist // per-roundtrip hop counts
+	HdrHist    eval.Hist // per-roundtrip peak header words
+	Stretch    eval.Quantiles
+	Sampled    int
+	PerShard   []ShardStats
+	// CrossEdgeFraction is the static fraction of graph edges crossing
+	// shards under the placement (the measured CrossShardRatio's
+	// topology-blind baseline).
+	CrossEdgeFraction float64
+}
+
+// PacketsPerSec returns the serving rate.
+func (r *Result) PacketsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Packets) / r.Elapsed.Seconds()
+}
+
+// HopsPerSec returns the per-hop forwarding rate.
+func (r *Result) HopsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Hops) / r.Elapsed.Seconds()
+}
+
+// CrossShardRatio returns the fraction of hops that crossed a shard
+// boundary — the number the placement policies compete on.
+func (r *Result) CrossShardRatio() float64 {
+	if r.Hops == 0 {
+		return 0
+	}
+	return float64(r.CrossShard) / float64(r.Hops)
+}
+
+// Run serves cfg.Packets roundtrips through an in-process cluster: S
+// shards over a channel bus, each pumping its own mailbox with Workers
+// goroutines, plus deterministic injector streams throttled by the
+// InFlight window. The pair multiset — and therefore every distribution
+// in the Result — is a pure function of (Seed, Injectors, Workload,
+// Packets); Elapsed and the rates vary between runs.
+func Run(dep *core.Deployment, cfg Config) (*Result, error) {
+	if cfg.Packets <= 0 {
+		return nil, fmt.Errorf("cluster: packets must be > 0, got %d", cfg.Packets)
+	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 8
+	}
+	injectors := cfg.Injectors
+	if injectors <= 0 {
+		injectors = shards
+	}
+	inFlight := cfg.InFlight
+	if inFlight <= 0 {
+		inFlight = 512
+	}
+	stride := int64(cfg.SampleEvery)
+	if stride < 1 {
+		stride = 1
+	}
+	place, err := NewPlacement(dep, shards, cfg.Placement)
+	if err != nil {
+		return nil, err
+	}
+	g := dep.Graph()
+	g.Seal()
+	// Compile-time probe: a misconfigured plane fails here, not at
+	// packet 731,204 (names 0 and 1 always exist).
+	if _, _, err := sim.RoundtripFlight(dep, 0, 1, cfg.MaxHops); err != nil {
+		return nil, fmt.Errorf("cluster: probe roundtrip: %w", err)
+	}
+	wl, err := traffic.NewWorkload(cfg.Workload, g.N(), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Mailbox capacity = InFlight: every live roundtrip occupies at
+	// most one queued frame anywhere, so sends can never cycle-wait.
+	bus := NewChanBus(shards, inFlight)
+	remaining := cfg.Packets
+	sem := make(chan struct{}, inFlight)
+	onDone := func(*wire.Frame) {
+		<-sem
+		if atomic.AddInt64(&remaining, -1) == 0 {
+			bus.Close()
+		}
+	}
+	ss := make([]*Shard, shards)
+	for i := 0; i < shards; i++ {
+		view, err := dep.ShardView(i, place.Owner)
+		if err != nil {
+			return nil, err
+		}
+		ss[i] = NewShard(view, place, bus.Endpoint(i), Options{
+			Workers: cfg.Workers, Batch: cfg.Batch, MaxHops: cfg.MaxHops,
+			Strict: true, OnDone: onDone,
+		})
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	abort := func(err error) {
+		mu.Lock()
+		if firstErr == nil && err != nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		bus.Close()
+	}
+	start := time.Now()
+	for _, sh := range ss {
+		wg.Add(1)
+		go func(sh *Shard) {
+			defer wg.Done()
+			if err := sh.Serve(); err != nil {
+				abort(err)
+			}
+		}(sh)
+	}
+	quotas := traffic.SplitQuota(cfg.Packets, injectors)
+	sample := cfg.Oracle != nil
+	for i := 0; i < injectors; i++ {
+		wg.Add(1)
+		go func(i int, quota int64) {
+			defer wg.Done()
+			gen := wl.Generator(i)
+			f := wire.Frame{Kind: wire.FrameInject, Home: wire.HomeLocal}
+			for j := int64(0); j < quota; j++ {
+				src, dst := gen.Next()
+				f.SrcName, f.DstName = src, dst
+				f.Sampled = sample && j%stride == 0
+				data, err := wire.MarshalFrame(&f, nil)
+				if err != nil {
+					abort(err)
+					return
+				}
+				select {
+				case sem <- struct{}{}: // in-flight window
+				case <-bus.Done():
+					return // run aborted under us
+				}
+				owner := place.Shard(dep.NodeOf(src))
+				if err := bus.Send(owner, data); err != nil {
+					return // bus closed: run aborted under us
+				}
+			}
+		}(i, quotas[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if left := atomic.LoadInt64(&remaining); left != 0 {
+		return nil, fmt.Errorf("cluster: run stopped with %d roundtrips unserved", left)
+	}
+
+	res := &Result{
+		Shards: shards, Workers: ss[0].opts.Workers, Placement: place.Policy,
+		Elapsed: elapsed, PerShard: make([]ShardStats, shards),
+		CrossEdgeFraction: place.CrossEdgeFraction(g),
+	}
+	var samples []traffic.Sample
+	for i, sh := range ss {
+		st := sh.Stats()
+		res.PerShard[i] = st
+		res.Packets += st.Packets
+		res.Hops += st.Hops
+		res.Weight += st.Weight
+		res.CrossShard += st.FramesOut
+		sh.hists(&res.HopHist, &res.HdrHist, &samples)
+	}
+	if cfg.Oracle != nil {
+		res.Stretch, err = traffic.StretchQuantiles(cfg.Oracle, samples)
+		if err != nil {
+			return nil, err
+		}
+		res.Sampled = len(samples)
+	}
+	return res, nil
+}
+
+// Format renders the result as the E15 sharded-serving report.
+func (r *Result) Format() string {
+	var b []byte
+	b = appendf(b, "packets %d  shards %d  workers/shard %d  placement %s  elapsed %v\n",
+		r.Packets, r.Shards, r.Workers, r.Placement, r.Elapsed.Round(time.Millisecond))
+	b = appendf(b, "throughput %.0f packets/s  %.0f hops/s  (%.1f hops/roundtrip)\n",
+		r.PacketsPerSec(), r.HopsPerSec(), r.HopHist.Mean())
+	b = appendf(b, "cross-shard %d frames  ratio %.3f of hops  (static cross-edge fraction %.3f)\n",
+		r.CrossShard, r.CrossShardRatio(), r.CrossEdgeFraction)
+	if r.Sampled > 0 {
+		b = appendf(b, "stretch (over %d sampled packets): p50 %.3f  p95 %.3f  p99 %.3f  max %.3f  mean %.3f\n",
+			r.Sampled, r.Stretch.P50, r.Stretch.P95, r.Stretch.P99, r.Stretch.Max, r.Stretch.Mean)
+	}
+	b = appendf(b, "\nroundtrip hops\n%s", r.HopHist.Format("hops"))
+	b = appendf(b, "\npeak header words\n%s", r.HdrHist.Format("words"))
+	b = appendf(b, "\n%-6s %6s %10s %12s %10s %10s %8s\n", "shard", "nodes", "packets", "hops", "frames-in", "frames-out", "errors")
+	for _, st := range r.PerShard {
+		b = appendf(b, "%-6d %6d %10d %12d %10d %10d %8d\n",
+			st.Shard, st.Nodes, st.Packets, st.Hops, st.FramesIn, st.FramesOut, st.Errors)
+	}
+	return string(b)
+}
+
+func appendf(b []byte, format string, args ...any) []byte {
+	return append(b, fmt.Sprintf(format, args...)...)
+}

@@ -1,0 +1,47 @@
+package cluster
+
+import (
+	"testing"
+
+	"rtroute/internal/traffic"
+)
+
+// BenchmarkRunConfigs sweeps the engine's operating points: scheme kind
+// (header codec cost), placement (cross-shard fraction) and in-flight
+// window (batching depth). Not part of the canonical suite; a map for
+// tuning the E15 defaults.
+func BenchmarkRunConfigs(b *testing.B) {
+	deps, _ := testDeployments(b, 256, 1)
+	for _, tc := range []struct {
+		name     string
+		dep      string
+		place    Policy
+		inFlight int
+		workers  int
+	}{
+		{"stretch6/contig/512", "stretch6", Contiguous, 512, 1},
+		{"stretch6/rtz/512", "stretch6", RTZAligned, 512, 1},
+		{"stretch6/rtz/4096", "stretch6", RTZAligned, 4096, 1},
+		{"rtz/rtz/512", "rtz", RTZAligned, 512, 1},
+		{"rtz/rtz/4096", "rtz", RTZAligned, 4096, 1},
+		{"hop/contig/4096", "hop", Contiguous, 4096, 1},
+		{"hop/rtz-na-hash/4096", "hop", Hash, 4096, 1},
+		{"exstretch/hash/4096", "exstretch", Hash, 4096, 1},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			dep := deps[tc.dep]
+			b.ResetTimer()
+			res, err := Run(dep, Config{
+				Shards: 8, Workers: tc.workers, Placement: tc.place,
+				Packets: int64(b.N), Seed: 1, InFlight: tc.inFlight,
+				Workload: traffic.Spec{Kind: traffic.Zipf},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.PacketsPerSec(), "packets/s")
+			b.ReportMetric(float64(res.CrossShard)/float64(res.Packets), "xframes/rt")
+			b.ReportMetric(res.HopHist.Mean(), "hops/rt")
+		})
+	}
+}

@@ -1,0 +1,470 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"rtroute/internal/core"
+	"rtroute/internal/eval"
+	"rtroute/internal/graph"
+	"rtroute/internal/sim"
+	"rtroute/internal/traffic"
+	"rtroute/internal/wire"
+)
+
+// ShardStats is one shard's serving record, shaped like the traffic
+// engine's per-worker stats so cluster and single-process reports read
+// line for line: Packets/Hops/Weight count the roundtrips *completed*
+// at this shard (a roundtrip completes where its source lives), while
+// FramesIn/FramesOut count the packet frames this shard exchanged with
+// other shards — the cross-boundary traffic the placement policies
+// compete on.
+type ShardStats struct {
+	Shard   int
+	Nodes   int
+	Packets int64
+	Hops    int64
+	Weight  int64
+	// FramesIn / FramesOut are packet frames received from / shipped to
+	// other shards (injects and completion reports excluded).
+	FramesIn  int64
+	FramesOut int64
+	// Errors counts malformed or undeliverable frames dropped in
+	// non-strict (daemon) mode.
+	Errors int64
+}
+
+// shardWorker is one worker goroutine's private state: counters,
+// histograms, samples and scratch, touched by exactly one goroutine
+// until the post-run merge.
+type shardWorker struct {
+	stats   ShardStats
+	hopHist eval.Hist
+	hdrHist eval.Hist
+	samples []traffic.Sample
+	frame   wire.Frame
+	// hdec decodes arriving packet headers into reusable storage; a
+	// decoded header lives only for the one advance() call, so one
+	// scratch per worker suffices.
+	hdec wire.HeaderDecoder
+	// inject is the reusable injection header (ResetHeader per
+	// roundtrip, the traffic engine's allocation discipline).
+	inject sim.Header
+	// sizeHint right-sizes outbound frame buffers from the sizes seen
+	// so far.
+	sizeHint int
+	// pending accumulates outbound frames per destination shard while a
+	// received batch is processed; flush ships each destination's
+	// accumulation as one transport message.
+	pending [][]InFrame
+	// free recycles fully-processed inbound frame buffers as outbound
+	// marshal buffers, keeping the crossing hot path allocation-free in
+	// steady state.
+	free [][]byte
+}
+
+// outBuf pops a recycled buffer (or nil) for an outbound frame.
+func (st *shardWorker) outBuf() []byte {
+	if n := len(st.free); n > 0 {
+		b := st.free[n-1]
+		st.free = st.free[:n-1]
+		return b[:0]
+	}
+	return make([]byte, 0, st.sizeHint)
+}
+
+// recycle returns a dead inbound buffer to the worker's free list.
+func (st *shardWorker) recycle(b []byte) {
+	if cap(b) > 0 && len(st.free) < 64 {
+		st.free = append(st.free, b)
+	}
+}
+
+// Options tunes a Shard.
+type Options struct {
+	// Workers is this shard's serving pool size (default 1).
+	Workers int
+	// Batch bounds how many outbound frames a worker accumulates per
+	// destination shard before an early flush (default 64). Received
+	// batch sizes are whatever the senders accumulated.
+	Batch int
+	// MaxHops bounds each leg (0 = sim's default 4n budget).
+	MaxHops int
+	// Strict aborts the worker on any error (the in-process engine's
+	// mode, where an error means a broken invariant). Non-strict mode
+	// — the network daemon's — drops the offending frame, counts it,
+	// and keeps serving: a hostile client frame must not take the
+	// shard down.
+	Strict bool
+	// OnDone, when non-nil, observes every roundtrip completed with
+	// Home == HomeLocal (the in-process engine's completion hook).
+	OnDone func(*wire.Frame)
+}
+
+// Shard is one serving process of a cluster: the ShardView holding its
+// nodes' routers, the placement that says who owns everything else, and
+// a transport to ship boundary-crossing packets as wire frames. The
+// same Shard runs under the in-process engine (Run) and the network
+// daemon (Serve); only the transport differs.
+type Shard struct {
+	view    *core.ShardView
+	place   *Placement
+	tr      Transport
+	opts    Options
+	info    wire.Frame
+	workers []shardWorker
+}
+
+// NewShard assembles one shard over its view, placement and transport.
+func NewShard(view *core.ShardView, place *Placement, tr Transport, opts Options) *Shard {
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	if opts.Batch < 1 {
+		opts.Batch = 64
+	}
+	s := &Shard{
+		view: view, place: place, tr: tr, opts: opts,
+		workers: make([]shardWorker, opts.Workers),
+	}
+	s.info = wire.Frame{
+		Kind:       wire.FrameInfo,
+		SchemeKind: view.Deployment().Kind(),
+		Nodes:      int32(view.Graph().N()),
+		Shards:     int32(place.Shards),
+	}
+	return s
+}
+
+// Index returns the shard's index.
+func (s *Shard) Index() int { return s.view.Shard() }
+
+// Stats merges the shard's per-worker counters (call after the workers
+// have stopped, or accept a racy snapshot).
+func (s *Shard) Stats() ShardStats {
+	out := ShardStats{Shard: s.view.Shard(), Nodes: s.view.NodeCount()}
+	for i := range s.workers {
+		w := &s.workers[i].stats
+		out.Packets += w.Packets
+		out.Hops += w.Hops
+		out.Weight += w.Weight
+		out.FramesIn += w.FramesIn
+		out.FramesOut += w.FramesOut
+		out.Errors += w.Errors
+	}
+	return out
+}
+
+// hists merges the shard's histograms and samples into the caller's.
+func (s *Shard) hists(hop, hdr *eval.Hist, samples *[]traffic.Sample) {
+	for i := range s.workers {
+		hop.Merge(&s.workers[i].hopHist)
+		hdr.Merge(&s.workers[i].hdrHist)
+		*samples = append(*samples, s.workers[i].samples...)
+	}
+}
+
+// Serve pumps the shard's mailbox with its worker pool until the
+// transport closes, then returns the first worker error (nil on clean
+// shutdown). This is the daemon loop rtserve runs and the body the
+// in-process engine spawns per shard.
+func (s *Shard) Serve() error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(s.workers))
+	for w := range s.workers {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = s.worker(w)
+		}(w)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// worker is one mailbox pump: block for a batch, handle each frame,
+// then flush everything the batch emitted — one transport message per
+// destination shard, the send-side half of the batching discipline.
+func (s *Shard) worker(w int) error {
+	st := &s.workers[w]
+	st.pending = make([][]InFrame, s.place.Shards)
+	for {
+		frames, err := s.tr.Recv()
+		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		// Drain everything immediately available before flushing, so the
+		// outbound accumulations grow to the queued work instead of
+		// collapsing to singleton batches.
+		processed := 0
+		for {
+			for i := range frames {
+				if err := s.handle(st, frames[i]); err != nil {
+					if s.opts.Strict {
+						return err
+					}
+					st.stats.Errors++
+				}
+				// handle never retains the inbound bytes (headers are
+				// decoded into the worker's arena before it returns), so
+				// the buffer can carry the next outbound frame.
+				st.recycle(frames[i].Data)
+			}
+			processed += len(frames)
+			if processed >= 4*s.opts.Batch {
+				break
+			}
+			var ok bool
+			if frames, ok, err = s.tr.TryRecv(); err != nil || !ok {
+				break
+			}
+		}
+		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				// Flush is pointless on a closed transport; exit cleanly.
+				return nil
+			}
+			if s.opts.Strict {
+				return err
+			}
+			st.stats.Errors++
+		}
+		if err := s.flush(st); err != nil {
+			if s.opts.Strict && !errors.Is(err, ErrClosed) {
+				return err
+			}
+		}
+	}
+}
+
+// ship queues one outbound frame, early-flushing a destination that
+// reaches the batch bound.
+func (s *Shard) ship(st *shardWorker, to int, data []byte) error {
+	if to < 0 || to >= len(st.pending) {
+		return fmt.Errorf("cluster: frame addressed to unknown shard %d", to)
+	}
+	st.pending[to] = append(st.pending[to], InFrame{Data: data})
+	if len(st.pending[to]) >= s.opts.Batch {
+		frames := st.pending[to]
+		st.pending[to] = nil
+		return s.tr.SendBatch(to, frames)
+	}
+	return nil
+}
+
+// flush ships every destination's accumulated frames. Every frame of a
+// batch a transport refuses is counted as dropped — each is a live
+// roundtrip — so a daemon with a dead peer shows the loss in its
+// errors column instead of reporting a healthy shard.
+func (s *Shard) flush(st *shardWorker) error {
+	var firstErr error
+	for to, frames := range st.pending {
+		if len(frames) == 0 {
+			continue
+		}
+		st.pending[to] = nil
+		if err := s.tr.SendBatch(to, frames); err != nil {
+			st.stats.Errors += int64(len(frames))
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// handle processes one received frame.
+func (s *Shard) handle(st *shardWorker, in InFrame) error {
+	f := &st.frame
+	err := wire.UnmarshalFrame(in.Data, f)
+	if err != nil {
+		return err
+	}
+	switch f.Kind {
+	case wire.FrameInject:
+		// Fresh client injects are stamped with their reply route
+		// before anything else, so re-routing preserves it.
+		if f.Home == wire.HomeClient {
+			f.Home = int32(s.view.Shard())
+			f.Origin = in.Conn
+		}
+		if err := checkName(s.view, f.SrcName); err != nil {
+			return err
+		}
+		if err := checkName(s.view, f.DstName); err != nil {
+			return err
+		}
+		src := s.view.NodeOf(f.SrcName)
+		if !s.view.Owns(src) {
+			// Header creation is the source's job: route the inject to
+			// the shard that owns the source node.
+			data, err := wire.MarshalFrame(f, nil)
+			if err != nil {
+				return err
+			}
+			return s.ship(st, s.place.Shard(src), data)
+		}
+		h := st.inject
+		if h == nil {
+			if h, err = s.view.NewHeader(f.SrcName, f.DstName); err != nil {
+				return err
+			}
+			st.inject = h
+		} else if err = s.view.ResetHeader(h, f.SrcName, f.DstName); err != nil {
+			return err
+		}
+		f.Return = false
+		f.Out, f.Back = wire.LegTotals{}, wire.LegTotals{}
+		return s.advance(st, f, h, sim.Flight{Last: src, MaxHeaderWords: h.Words()})
+	case wire.FramePacket:
+		st.stats.FramesIn++
+		// A packet frame's routing fields are untrusted input on the
+		// network transport: validate them before any array access.
+		if err := checkName(s.view, f.SrcName); err != nil {
+			return err
+		}
+		if err := checkName(s.view, f.DstName); err != nil {
+			return err
+		}
+		if f.At < 0 || int(f.At) >= s.view.Graph().N() {
+			return fmt.Errorf("cluster: packet frame at node %d outside [0,%d)", f.At, s.view.Graph().N())
+		}
+		h, err := st.hdec.DecodeBare(f.Header)
+		if err != nil {
+			return err
+		}
+		f.Header = nil
+		var fl sim.Flight
+		if !f.Return {
+			fl = flightOf(f.Out, f.At)
+		} else {
+			fl = flightOf(f.Back, f.At)
+		}
+		return s.advance(st, f, h, fl)
+	case wire.FrameDone:
+		// A completion report passing through its home shard on the way
+		// back to the client connection that injected it.
+		return s.tr.Reply(f.Origin, in.Data)
+	case wire.FrameInfoReq:
+		data, err := wire.MarshalFrame(&s.info, nil)
+		if err != nil {
+			return err
+		}
+		return s.tr.Reply(in.Conn, data)
+	default:
+		return fmt.Errorf("cluster: shard %d received unexpected %d frame", s.view.Shard(), f.Kind)
+	}
+}
+
+// advance drives a packet as far as this shard can take it: segment by
+// segment through the roundtrip protocol — outbound leg, the flip at
+// the destination (which is local when the outbound leg delivers here),
+// return leg — until the packet either completes or crosses onto a
+// foreign node, at which point it is framed (header wire-encoded) and
+// shipped to the owner.
+func (s *Shard) advance(st *shardWorker, f *wire.Frame, h sim.Header, fl sim.Flight) error {
+	g := s.view.Graph()
+	for {
+		delivered, err := sim.FlySegment(g, s.view, h, &fl, s.opts.MaxHops, s.view.Owns)
+		if err != nil {
+			return err
+		}
+		if !delivered {
+			if !f.Return {
+				f.Out = totalsOf(fl)
+			} else {
+				f.Back = totalsOf(fl)
+			}
+			f.At = fl.Last
+			f.Kind = wire.FramePacket
+			data, err := wire.AppendFrame(st.outBuf(), f, h)
+			if err != nil {
+				return err
+			}
+			if len(data) > st.sizeHint {
+				st.sizeHint = len(data) + len(data)/4
+			}
+			st.stats.FramesOut++
+			return s.ship(st, s.place.Shard(fl.Last), data)
+		}
+		if !f.Return {
+			dst := s.view.NodeOf(f.DstName)
+			if fl.Last != dst {
+				return fmt.Errorf("cluster: outbound %d->%d delivered at wrong node %d", f.SrcName, f.DstName, fl.Last)
+			}
+			f.Out = totalsOf(fl)
+			if err := s.view.BeginReturn(h); err != nil {
+				return err
+			}
+			f.Return = true
+			fl = sim.Flight{Last: dst, MaxHeaderWords: h.Words()}
+			continue
+		}
+		src := s.view.NodeOf(f.SrcName)
+		if fl.Last != src {
+			return fmt.Errorf("cluster: return %d->%d delivered at wrong node %d", f.DstName, f.SrcName, fl.Last)
+		}
+		f.Back = totalsOf(fl)
+		return s.complete(st, f)
+	}
+}
+
+// complete records a finished roundtrip and routes its completion
+// report home.
+func (s *Shard) complete(st *shardWorker, f *wire.Frame) error {
+	hops := int(f.Out.Hops) + int(f.Back.Hops)
+	weight := f.Out.Weight + f.Back.Weight
+	st.stats.Packets++
+	st.stats.Hops += int64(hops)
+	st.stats.Weight += int64(weight)
+	st.hopHist.Add(hops)
+	hw := f.Out.MaxHeaderWords
+	if f.Back.MaxHeaderWords > hw {
+		hw = f.Back.MaxHeaderWords
+	}
+	st.hdrHist.Add(int(hw))
+	if f.Home == wire.HomeLocal {
+		if f.Sampled {
+			st.samples = append(st.samples, traffic.Sample{
+				Src:    s.view.NodeOf(f.SrcName),
+				Dst:    s.view.NodeOf(f.DstName),
+				Weight: weight,
+			})
+		}
+		if s.opts.OnDone != nil {
+			s.opts.OnDone(f)
+		}
+		return nil
+	}
+	done := wire.Frame{
+		Kind: wire.FrameDone, SrcName: f.SrcName, DstName: f.DstName,
+		Out: f.Out, Back: f.Back, Origin: f.Origin, Sampled: f.Sampled,
+	}
+	data, err := wire.MarshalFrame(&done, nil)
+	if err != nil {
+		return err
+	}
+	if int(f.Home) == s.view.Shard() {
+		return s.tr.Reply(f.Origin, data)
+	}
+	return s.ship(st, int(f.Home), data)
+}
+
+func totalsOf(fl sim.Flight) wire.LegTotals {
+	return wire.LegTotals{Hops: int32(fl.Hops), Weight: fl.Weight, MaxHeaderWords: int32(fl.MaxHeaderWords)}
+}
+
+func flightOf(t wire.LegTotals, at graph.NodeID) sim.Flight {
+	return sim.Flight{Hops: int(t.Hops), Weight: t.Weight, MaxHeaderWords: int(t.MaxHeaderWords), Last: at}
+}
+
+func checkName(v *core.ShardView, name int32) error {
+	if name < 0 || int(name) >= v.Graph().N() {
+		return fmt.Errorf("cluster: name %d outside [0,%d)", name, v.Graph().N())
+	}
+	return nil
+}

@@ -1,0 +1,293 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// The TCP transport: the same frames the channel bus carries, as
+// length-prefixed segments over sockets. One rtserve daemon per shard
+// listens on its address from a shared address list; shard-to-shard
+// links are dialed lazily (daemons start in any order), and client
+// connections (rtroute -connect) are accepted on the same listener —
+// the protocol is symmetric, a frame is a frame. Wire format of one
+// segment: a 4-byte big-endian length, then that many frame bytes.
+
+// maxTCPFrame bounds one frame segment; headers are O(log^2 n) words,
+// so anything near this is hostile input, not traffic.
+const maxTCPFrame = 1 << 24
+
+// tcpDialRetries * tcpDialBackoff bounds how long a shard waits for a
+// peer daemon to come up before failing the Send.
+const (
+	tcpDialRetries = 40
+	tcpDialBackoff = 250 * time.Millisecond
+)
+
+// TCPTransport is one shard's socket fabric.
+type TCPTransport struct {
+	shard int
+	addrs []string
+	ln    net.Listener
+
+	inbox  chan []InFrame
+	closed chan struct{}
+	once   sync.Once
+
+	mu    sync.Mutex
+	peers []*tcpConn          // lazily dialed shard->shard links, by shard index
+	conns map[uint64]*tcpConn // accepted connections, by reply token
+	next  uint64
+}
+
+// tcpConn serializes writes to one socket.
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+func (p *tcpConn) writeFrame(frame []byte) error {
+	return p.writeFrames([]InFrame{{Data: frame}})
+}
+
+func (p *tcpConn) writeFrames(frames []InFrame) error {
+	total := 0
+	for i := range frames {
+		total += 4 + len(frames[i].Data)
+	}
+	buf := make([]byte, 0, total)
+	for i := range frames {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(frames[i].Data)))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, frames[i].Data...)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, err := p.c.Write(buf)
+	return err
+}
+
+// readFrame reads one length-prefixed frame segment.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxTCPFrame {
+		return nil, fmt.Errorf("cluster: tcp frame length %d outside (0, %d]", n, maxTCPFrame)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// ListenTCP starts shard's endpoint of a TCP cluster whose shard i
+// listens on addrs[i].
+func ListenTCP(shard int, addrs []string) (*TCPTransport, error) {
+	if shard < 0 || shard >= len(addrs) {
+		return nil, fmt.Errorf("cluster: shard %d outside address list of %d", shard, len(addrs))
+	}
+	ln, err := net.Listen("tcp", addrs[shard])
+	if err != nil {
+		return nil, err
+	}
+	return NewTCPTransport(shard, ln, addrs), nil
+}
+
+// NewTCPTransport wraps an existing listener (tests use ":0" listeners
+// and exchange the resolved addresses). addrs[shard] is ignored; the
+// other entries are where peers are dialed.
+func NewTCPTransport(shard int, ln net.Listener, addrs []string) *TCPTransport {
+	t := &TCPTransport{
+		shard: shard, addrs: addrs, ln: ln,
+		inbox:  make(chan []InFrame, 4096),
+		closed: make(chan struct{}),
+		peers:  make([]*tcpConn, len(addrs)),
+		conns:  make(map[uint64]*tcpConn),
+	}
+	go t.acceptLoop()
+	return t
+}
+
+// Addr returns the listener's resolved address.
+func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
+
+func (t *TCPTransport) acceptLoop() {
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		t.next++
+		id := t.next
+		tc := &tcpConn{c: c}
+		t.conns[id] = tc
+		t.mu.Unlock()
+		go t.readLoop(tc, id)
+	}
+}
+
+func (t *TCPTransport) readLoop(tc *tcpConn, id uint64) {
+	defer func() {
+		t.mu.Lock()
+		delete(t.conns, id)
+		t.mu.Unlock()
+		tc.c.Close()
+	}()
+	// Frames already sitting in the read buffer are delivered as one
+	// batch: the socket-side mirror of the senders' batching.
+	rd := bufio.NewReaderSize(tc.c, 64*1024)
+	for {
+		frame, err := readFrame(rd)
+		if err != nil {
+			return
+		}
+		batch := []InFrame{{Data: frame, Conn: id}}
+		for len(batch) < 256 && rd.Buffered() >= 4 {
+			frame, err = readFrame(rd)
+			if err != nil {
+				return
+			}
+			batch = append(batch, InFrame{Data: frame, Conn: id})
+		}
+		select {
+		case t.inbox <- batch:
+		case <-t.closed:
+			return
+		}
+	}
+}
+
+// peer returns the lazily-dialed link to a shard, waiting with backoff
+// for daemons that have not come up yet.
+func (t *TCPTransport) peer(to int) (*tcpConn, error) {
+	if to < 0 || to >= len(t.addrs) {
+		return nil, fmt.Errorf("cluster: send to unknown shard %d (cluster has %d)", to, len(t.addrs))
+	}
+	t.mu.Lock()
+	p := t.peers[to]
+	t.mu.Unlock()
+	if p != nil {
+		return p, nil
+	}
+	var lastErr error
+	for i := 0; i < tcpDialRetries; i++ {
+		select {
+		case <-t.closed:
+			return nil, ErrClosed
+		default:
+		}
+		c, err := net.Dial("tcp", t.addrs[to])
+		if err == nil {
+			select {
+			case <-t.closed:
+				// Close ran while we were dialing; registering the conn
+				// now would leak it past Close's cleanup loop.
+				c.Close()
+				return nil, ErrClosed
+			default:
+			}
+			t.mu.Lock()
+			if t.peers[to] == nil {
+				t.peers[to] = &tcpConn{c: c}
+			} else {
+				c.Close() // another goroutine won the race
+			}
+			p = t.peers[to]
+			t.mu.Unlock()
+			return p, nil
+		}
+		lastErr = err
+		time.Sleep(tcpDialBackoff)
+	}
+	return nil, fmt.Errorf("cluster: shard %d unreachable at %s: %w", to, t.addrs[to], lastErr)
+}
+
+// Send implements Transport. A send to this shard itself loops back
+// through the inbox without touching a socket.
+func (t *TCPTransport) Send(to int, frame []byte) error {
+	return t.SendBatch(to, []InFrame{{Data: frame}})
+}
+
+// SendBatch implements Transport: one socket write carries the whole
+// batch of length-prefixed frames.
+func (t *TCPTransport) SendBatch(to int, frames []InFrame) error {
+	if len(frames) == 0 {
+		return nil
+	}
+	if to == t.shard {
+		select {
+		case t.inbox <- frames:
+			return nil
+		case <-t.closed:
+			return ErrClosed
+		}
+	}
+	p, err := t.peer(to)
+	if err != nil {
+		return err
+	}
+	return p.writeFrames(frames)
+}
+
+// Recv implements Transport.
+func (t *TCPTransport) Recv() ([]InFrame, error) {
+	select {
+	case frames := <-t.inbox:
+		return frames, nil
+	case <-t.closed:
+		return nil, ErrClosed
+	}
+}
+
+// TryRecv implements Transport.
+func (t *TCPTransport) TryRecv() ([]InFrame, bool, error) {
+	select {
+	case frames := <-t.inbox:
+		return frames, true, nil
+	case <-t.closed:
+		return nil, false, ErrClosed
+	default:
+		return nil, false, nil
+	}
+}
+
+// Reply implements Transport: write back to an accepted connection.
+func (t *TCPTransport) Reply(conn uint64, frame []byte) error {
+	t.mu.Lock()
+	tc := t.conns[conn]
+	t.mu.Unlock()
+	if tc == nil {
+		return fmt.Errorf("cluster: reply to closed connection %d", conn)
+	}
+	return tc.writeFrame(frame)
+}
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	t.once.Do(func() {
+		close(t.closed)
+		t.ln.Close()
+		t.mu.Lock()
+		for _, tc := range t.conns {
+			tc.c.Close()
+		}
+		for _, p := range t.peers {
+			if p != nil {
+				p.c.Close()
+			}
+		}
+		t.mu.Unlock()
+	})
+	return nil
+}

@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"rtroute/internal/sim"
+	"rtroute/internal/wire"
+)
+
+// TestTCPLoopback is the network smoke test: two shard daemons over
+// loopback TCP, a client dialed into shard 0, and roundtrips whose
+// certified totals must match the single-process tracer — including
+// injects for sources shard 0 does not own (the re-route path) and
+// completions that travel shard 1 -> shard 0 -> client.
+func TestTCPLoopback(t *testing.T) {
+	deps, _ := testDeployments(t, 32, 9)
+	dep := deps["stretch6"]
+	const shards = 2
+	place, err := NewPlacement(dep, shards, Contiguous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep.Graph().Seal()
+
+	lns := make([]net.Listener, shards)
+	addrs := make([]string, shards)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	trs := make([]*TCPTransport, shards)
+	ss := make([]*Shard, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		trs[i] = NewTCPTransport(i, lns[i], addrs)
+		view, err := dep.ShardView(i, place.Owner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss[i] = NewShard(view, place, trs[i], Options{Workers: 2})
+		wg.Add(1)
+		go func(sh *Shard) {
+			defer wg.Done()
+			if err := sh.Serve(); err != nil {
+				t.Errorf("shard %d: %v", sh.Index(), err)
+			}
+		}(ss[i])
+	}
+	defer func() {
+		for _, tr := range trs {
+			tr.Close()
+		}
+		wg.Wait()
+	}()
+
+	cl, err := DialClient(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	kind, nodes, nshards, err := cl.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != dep.Kind() || nodes != 32 || nshards != shards {
+		t.Fatalf("info reported (%v, %d, %d), want (%v, 32, %d)", kind, nodes, nshards, dep.Kind(), shards)
+	}
+
+	// Pair names chosen so that both shards see injects: names are a
+	// random permutation, so walking all (src, src+7) pairs covers
+	// sources on both sides of the partition.
+	served := 0
+	for src := int32(0); src < 32; src += 3 {
+		dst := (src + 7) % 32
+		out, back, err := cl.Roundtrip(src, dst)
+		if err != nil {
+			t.Fatalf("roundtrip %d->%d: %v", src, dst, err)
+		}
+		want, err := sim.Roundtrip(dep, src, dst, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(out.Hops) != want.Out.Hops || out.Weight != want.Out.Weight ||
+			int(back.Hops) != want.Back.Hops || back.Weight != want.Back.Weight {
+			t.Fatalf("roundtrip %d->%d: cluster (out %d/%d, back %d/%d), tracer (out %d/%d, back %d/%d)",
+				src, dst, out.Hops, out.Weight, back.Hops, back.Weight,
+				want.Out.Hops, want.Out.Weight, want.Back.Hops, want.Back.Weight)
+		}
+		if int(out.MaxHeaderWords) != want.Out.MaxHeaderWords || int(back.MaxHeaderWords) != want.Back.MaxHeaderWords {
+			t.Fatalf("roundtrip %d->%d: header words (%d,%d), tracer (%d,%d)",
+				src, dst, out.MaxHeaderWords, back.MaxHeaderWords,
+				want.Out.MaxHeaderWords, want.Back.MaxHeaderWords)
+		}
+		served++
+	}
+	if served == 0 {
+		t.Fatal("no roundtrips served")
+	}
+
+	// A garbage segment must not take the daemon down: the shard drops
+	// it (non-strict) and keeps serving this very connection.
+	if err := (&tcpConn{c: cl.conn}).writeFrame([]byte("not a frame")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.Roundtrip(1, 2); err != nil {
+		t.Fatalf("roundtrip after garbage frame: %v", err)
+	}
+	if st := ss[0].Stats(); st.Errors == 0 {
+		t.Fatal("garbage frame was not counted as an error")
+	}
+
+	// Hostile but well-formed frames must not take the daemon down
+	// either: an out-of-range At (would index the placement), and
+	// negative leg totals (would inflate the hop budget).
+	hostile, err := wire.MarshalFrame(&wire.Frame{
+		Kind: wire.FramePacket, SrcName: 1, DstName: 2, At: -7,
+		Home: wire.HomeLocal, Header: []byte{0xff},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (&tcpConn{c: cl.conn}).writeFrame(hostile); err != nil {
+		t.Fatal(err)
+	}
+	negHops, err := wire.MarshalFrame(&wire.Frame{
+		Kind: wire.FramePacket, SrcName: 1, DstName: 2, At: 0,
+		Out:  wire.LegTotals{Hops: -1 << 30},
+		Home: wire.HomeLocal, Header: []byte{0xff},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (&tcpConn{c: cl.conn}).writeFrame(negHops); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.Roundtrip(2, 9); err != nil {
+		t.Fatalf("roundtrip after hostile frames: %v", err)
+	}
+}

@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrClosed is returned by transport operations after Close: receivers
+// treat it as clean shutdown, senders as "stop injecting".
+var ErrClosed = errors.New("cluster: transport closed")
+
+// InFrame is one received transport message: the frame bytes plus, for
+// messages that arrived on an accepted client connection (TCP), the
+// connection's reply token for Reply. The receiver owns Data.
+type InFrame struct {
+	Data []byte
+	Conn uint64
+}
+
+// Transport is one shard's connection to the rest of the cluster: a
+// frame-oriented message fabric. Frames are opaque length-delimited
+// byte slices (the wire frame codec's output); the transport neither
+// reads nor retains them after delivery. Implementations must allow
+// concurrent Send/SendBatch/Reply from many goroutines and concurrent
+// Recv from a shard's worker pool.
+type Transport interface {
+	// Send delivers one frame to shard to's mailbox. It blocks while
+	// the destination mailbox is full and returns ErrClosed after the
+	// transport shuts down.
+	Send(to int, frame []byte) error
+	// SendBatch delivers many frames to one shard as a single mailbox
+	// message — the engine's amortization lever: a worker accumulates
+	// everything a dequeue batch emits toward each destination and pays
+	// one rendezvous per destination, not per frame. Ownership of the
+	// slice transfers to the transport.
+	SendBatch(to int, frames []InFrame) error
+	// Recv returns the next batch from this shard's mailbox, blocking
+	// until at least one frame is available. The caller owns the
+	// returned slice.
+	Recv() ([]InFrame, error)
+	// TryRecv is the non-blocking Recv: ok=false when the mailbox is
+	// momentarily empty. Workers drain with TryRecv before flushing
+	// their outbound accumulations, so batches grow to the work
+	// actually queued instead of collapsing to singletons.
+	TryRecv() ([]InFrame, bool, error)
+	// Reply writes a frame back to the accepted client connection
+	// identified by conn (see InFrame.Conn). Transports without client
+	// connections return an error.
+	Reply(conn uint64, frame []byte) error
+	// Close shuts the transport down, unblocking all Send/Recv calls.
+	Close() error
+}
+
+// ChanBus is the in-process transport: one bounded mailbox channel per
+// shard, each element a batch of frames. It is the deterministic-test
+// and benchmark fabric — same frame bytes as TCP, no sockets — and also
+// the deadlock-freedom reference: with at most InFlight roundtrips live
+// and every live roundtrip occupying at most one queued frame, a
+// mailbox capacity of InFlight batches means sends never cycle-wait.
+type ChanBus struct {
+	inboxes []chan []InFrame
+	closed  chan struct{}
+	once    sync.Once
+}
+
+// NewChanBus creates a bus for the given shard count, each mailbox
+// holding up to capacity batches.
+func NewChanBus(shards, capacity int) *ChanBus {
+	b := &ChanBus{inboxes: make([]chan []InFrame, shards), closed: make(chan struct{})}
+	for i := range b.inboxes {
+		b.inboxes[i] = make(chan []InFrame, capacity)
+	}
+	return b
+}
+
+// Send delivers a single frame to shard to's mailbox (injectors use the
+// bus directly; shards go through their Endpoint).
+func (b *ChanBus) Send(to int, frame []byte) error {
+	return b.SendBatch(to, []InFrame{{Data: frame}})
+}
+
+// SendBatch delivers a batch of frames to shard to's mailbox.
+func (b *ChanBus) SendBatch(to int, frames []InFrame) error {
+	if to < 0 || to >= len(b.inboxes) {
+		return fmt.Errorf("cluster: send to unknown shard %d (bus has %d)", to, len(b.inboxes))
+	}
+	if len(frames) == 0 {
+		return nil
+	}
+	select {
+	case b.inboxes[to] <- frames:
+		return nil
+	case <-b.closed:
+		return ErrClosed
+	}
+}
+
+// Close shuts the bus down; queued frames are discarded.
+func (b *ChanBus) Close() error {
+	b.once.Do(func() { close(b.closed) })
+	return nil
+}
+
+// Done returns a channel closed when the bus shuts down, so producers
+// blocked on anything other than the bus (an in-flight window, say) can
+// wake up on shutdown too.
+func (b *ChanBus) Done() <-chan struct{} { return b.closed }
+
+// Endpoint returns shard's view of the bus.
+func (b *ChanBus) Endpoint(shard int) Transport {
+	return &busEndpoint{bus: b, shard: shard}
+}
+
+type busEndpoint struct {
+	bus   *ChanBus
+	shard int
+}
+
+func (e *busEndpoint) Send(to int, frame []byte) error { return e.bus.Send(to, frame) }
+
+func (e *busEndpoint) SendBatch(to int, frames []InFrame) error { return e.bus.SendBatch(to, frames) }
+
+func (e *busEndpoint) Recv() ([]InFrame, error) {
+	select {
+	case frames := <-e.bus.inboxes[e.shard]:
+		return frames, nil
+	case <-e.bus.closed:
+		return nil, ErrClosed
+	}
+}
+
+func (e *busEndpoint) TryRecv() ([]InFrame, bool, error) {
+	select {
+	case frames := <-e.bus.inboxes[e.shard]:
+		return frames, true, nil
+	case <-e.bus.closed:
+		return nil, false, ErrClosed
+	default:
+		return nil, false, nil
+	}
+}
+
+func (e *busEndpoint) Reply(conn uint64, frame []byte) error {
+	return fmt.Errorf("cluster: channel bus has no client connections (reply token %d)", conn)
+}
+
+func (e *busEndpoint) Close() error { return e.bus.Close() }

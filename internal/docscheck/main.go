@@ -1,0 +1,197 @@
+// Command docscheck is the docs CI gate: it holds the markdown
+// documentation to the same hygiene bar as the code. For every file
+// named on the command line it
+//
+//   - extracts each ```go code fence, wraps bare statement snippets in
+//     a minimal package/function shell, and requires the result to
+//     parse as Go — a fence with a package clause must additionally be
+//     gofmt-clean as written;
+//   - resolves every relative markdown link ([text](path), optionally
+//     with a #fragment) against the filesystem, and checks fragments
+//     against the target's GitHub-style heading anchors.
+//
+// External links (http/https/mailto) are not fetched. Exit status is
+// non-zero if any fence or link fails, with one diagnostic per finding.
+//
+// Usage:
+//
+//	go run ./internal/docscheck README.md DESIGN.md
+package main
+
+import (
+	"fmt"
+	"go/format"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: docscheck FILE.md ...")
+		os.Exit(2)
+	}
+	failures := 0
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "docscheck:", err)
+			failures++
+			continue
+		}
+		text := string(data)
+		failures += checkFences(path, text)
+		failures += checkLinks(path, text)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", failures)
+		os.Exit(1)
+	}
+}
+
+// fence is one extracted ```go block.
+type fence struct {
+	line int
+	code string
+}
+
+func goFences(text string) []fence {
+	var out []fence
+	lines := strings.Split(text, "\n")
+	for i := 0; i < len(lines); i++ {
+		if strings.TrimSpace(lines[i]) != "```go" {
+			continue
+		}
+		start := i + 1
+		j := start
+		for j < len(lines) && strings.TrimSpace(lines[j]) != "```" {
+			j++
+		}
+		out = append(out, fence{line: start + 1, code: strings.Join(lines[start:j], "\n")})
+		i = j
+	}
+	return out
+}
+
+// checkFences parses every Go fence; fences written as complete files
+// (leading package clause) must also be gofmt-clean byte for byte.
+func checkFences(path, text string) int {
+	failures := 0
+	for _, f := range goFences(text) {
+		src, complete := wrapSnippet(f.code)
+		fset := token.NewFileSet()
+		if _, err := parser.ParseFile(fset, "fence.go", src, parser.ParseComments); err != nil {
+			fmt.Fprintf(os.Stderr, "%s:%d: go fence does not parse: %v\n", path, f.line, err)
+			failures++
+			continue
+		}
+		if complete {
+			formatted, err := format.Source([]byte(f.code))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s:%d: go fence does not format: %v\n", path, f.line, err)
+				failures++
+				continue
+			}
+			if strings.TrimSuffix(string(formatted), "\n") != strings.TrimSuffix(f.code, "\n") {
+				fmt.Fprintf(os.Stderr, "%s:%d: go fence is not gofmt-clean\n", path, f.line)
+				failures++
+			}
+		}
+	}
+	return failures
+}
+
+// wrapSnippet turns a fence into a parseable file: complete files pass
+// through; top-level declaration snippets get a package clause;
+// statement snippets get a package clause and a function shell.
+func wrapSnippet(code string) (src string, complete bool) {
+	trimmed := strings.TrimSpace(code)
+	if strings.HasPrefix(trimmed, "package ") {
+		return code, true
+	}
+	for _, prefix := range []string{"func ", "type ", "import ", "const ", "var "} {
+		if strings.HasPrefix(trimmed, prefix) {
+			return "package fence\n" + code, false
+		}
+	}
+	return "package fence\n\nfunc fence() {\n" + code + "\n}\n", false
+}
+
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// checkLinks resolves every relative link target and fragment.
+func checkLinks(path, text string) int {
+	failures := 0
+	dir := filepath.Dir(path)
+	// Strip code fences: link-looking text inside them (slice syntax,
+	// index expressions) is code, not markdown.
+	stripped := stripFences(text)
+	for _, m := range linkRe.FindAllStringSubmatch(stripped, -1) {
+		target := m[1]
+		if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+			continue
+		}
+		file, frag, _ := strings.Cut(target, "#")
+		resolved := path
+		if file != "" {
+			resolved = filepath.Join(dir, file)
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: broken link %q: %v\n", path, target, err)
+				failures++
+				continue
+			}
+		}
+		if frag == "" {
+			continue
+		}
+		data, err := os.ReadFile(resolved)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: link %q: %v\n", path, target, err)
+			failures++
+			continue
+		}
+		if !anchors(string(data))[frag] {
+			fmt.Fprintf(os.Stderr, "%s: link %q: no heading anchor #%s in %s\n", path, target, frag, resolved)
+			failures++
+		}
+	}
+	return failures
+}
+
+func stripFences(text string) string {
+	var b strings.Builder
+	in := false
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			in = !in
+			continue
+		}
+		if !in {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+var anchorStrip = regexp.MustCompile(`[^a-z0-9 \-]`)
+
+// anchors collects GitHub-style heading anchors: lowercase, punctuation
+// dropped, spaces to hyphens.
+func anchors(text string) map[string]bool {
+	out := map[string]bool{}
+	for _, line := range strings.Split(stripFences(text), "\n") {
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		h := strings.TrimLeft(line, "#")
+		h = strings.ToLower(strings.TrimSpace(h))
+		h = anchorStrip.ReplaceAllString(h, "")
+		h = strings.ReplaceAll(h, " ", "-")
+		out[h] = true
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"rtroute/internal/graph"
+	"rtroute/internal/sim"
+)
+
+// hdr is a minimal mutable packet header: just the destination node.
+type hdr struct{ dst graph.NodeID }
+
+func (h *hdr) Words() int { return 1 }
+
+// ringFwd forwards clockwise around a ring until the header's
+// destination is reached — the simplest possible local forwarding
+// function F(table(x), header(P)): it consults only the current node
+// and the header.
+type ringFwd struct{}
+
+func (ringFwd) Forward(at graph.NodeID, h sim.Header) (graph.PortID, bool, error) {
+	if at == h.(*hdr).dst {
+		return 0, true, nil
+	}
+	return 0, false, nil // every ring node's single out-edge is port 0
+}
+
+// Example drives a packet around a 5-node ring with Run, the
+// full-trace runner; the fabric resolves each returned port over the
+// graph and enforces the hop budget.
+func Example() {
+	g := graph.New(5)
+	for v := 0; v < 5; v++ {
+		g.MustAddEdge(graph.NodeID(v), graph.NodeID((v+1)%5), 1)
+	}
+	tr, err := sim.Run(g, ringFwd{}, 1, &hdr{dst: 4}, 0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("path:", tr.Path)
+	fmt.Println("hops:", tr.Hops, "weight:", tr.Weight)
+	// Output:
+	// path: [1 2 3 4]
+	// hops: 3 weight: 3
+}

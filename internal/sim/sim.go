@@ -158,6 +158,59 @@ func fly(g *graph.Graph, f Forwarder, src graph.NodeID, h Header, maxHops int, p
 	}
 }
 
+// FlySegment advances one leg of a packet's flight across the slice of
+// the fabric a caller owns: starting at fl.Last, it forwards while
+// own(current node) holds and stops — without invoking the foreign
+// node's forwarding function — as soon as the packet crosses onto a node
+// the caller does not own (delivered=false, fl.Last is that node), or
+// when the scheme reports delivery (delivered=true). It is the cluster
+// engine's per-shard runner: a leg is a chain of segments, one per shard
+// visited, and the chain's accounting is hop-for-hop identical to one
+// fly loop because fl carries the leg's running totals between segments.
+//
+// The caller owns the leg lifecycle: initialize fl = Flight{Last: src,
+// MaxHeaderWords: h.Words()} when the leg starts, and carry fl (plus the
+// wire-encoded header) across segment boundaries. maxHops bounds the
+// whole leg, not the segment (<= 0 selects the default 4n budget).
+func FlySegment(g *graph.Graph, f Forwarder, h Header, fl *Flight, maxHops int, own func(graph.NodeID) bool) (delivered bool, err error) {
+	if maxHops <= 0 {
+		maxHops = 4 * g.N()
+	}
+	ports := g.PortTable()
+	fixed := false
+	if fs, ok := h.(FixedSizeHeader); ok {
+		fixed = fs.FixedWords()
+	}
+	cur := fl.Last
+	for {
+		if !own(cur) {
+			return false, nil
+		}
+		port, delivered, err := f.Forward(cur, h)
+		if err != nil {
+			return false, fmt.Errorf("sim: forwarding at node %d (hop %d): %w", cur, fl.Hops, err)
+		}
+		if !fixed {
+			if w := h.Words(); w > fl.MaxHeaderWords {
+				fl.MaxHeaderWords = w
+			}
+		}
+		if delivered {
+			return true, nil
+		}
+		e, ok := ports.EdgeByPort(cur, port)
+		if !ok {
+			return false, fmt.Errorf("sim: node %d has no out-port %d", cur, port)
+		}
+		fl.Weight += e.Weight
+		cur = e.To
+		fl.Last = cur
+		if fl.Hops++; fl.Hops > maxHops {
+			return false, fmt.Errorf("sim: hop budget %d exhausted (likely routing loop) at node %d", maxHops, cur)
+		}
+	}
+}
+
 func tail(p []graph.NodeID, k int) []graph.NodeID {
 	if len(p) <= k {
 		return p

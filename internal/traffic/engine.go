@@ -76,10 +76,13 @@ func (r *Result) HopsPerSec() float64 {
 	return float64(r.Hops) / r.Elapsed.Seconds()
 }
 
-// sample is one recorded roundtrip for the stretch post-pass.
-type sample struct {
-	src, dst graph.NodeID
-	weight   graph.Dist
+// Sample is one recorded roundtrip for the stretch post-pass
+// (StretchQuantiles): the pair in topological indices plus the measured
+// roundtrip weight. The cluster engine records the same samples, so one
+// post-pass serves both serving layers.
+type Sample struct {
+	Src, Dst graph.NodeID
+	Weight   graph.Dist
 }
 
 // shard is one worker's private state: RNG, counters, histograms,
@@ -89,7 +92,7 @@ type shard struct {
 	stats   WorkerStats
 	hopHist eval.Hist
 	hdrHist eval.Hist
-	samples []sample
+	samples []Sample
 	err     error
 }
 
@@ -113,7 +116,7 @@ func Run(pl *Plane, cfg Config) (*Result, error) {
 	if stride < 1 {
 		stride = 1
 	}
-	quotas := split(cfg.Packets, workers)
+	quotas := SplitQuota(cfg.Packets, workers)
 	shards := make([]*shard, workers)
 
 	var wg sync.WaitGroup
@@ -127,7 +130,7 @@ func Run(pl *Plane, cfg Config) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			if cfg.Oracle != nil {
-				sh.samples = make([]sample, 0, quota/stride+1)
+				sh.samples = make([]Sample, 0, quota/stride+1)
 			}
 			// One header serves the worker's whole stream: the first
 			// roundtrip allocates it, every later one resets it in place.
@@ -153,7 +156,7 @@ func Run(pl *Plane, cfg Config) (*Result, error) {
 				}
 				sh.hdrHist.Add(hw)
 				if cfg.Oracle != nil && i%stride == 0 {
-					sh.samples = append(sh.samples, sample{src: pl.NodeOf(src), dst: pl.NodeOf(dst), weight: weight})
+					sh.samples = append(sh.samples, Sample{Src: pl.NodeOf(src), Dst: pl.NodeOf(dst), Weight: weight})
 				}
 			}
 		}()
@@ -162,7 +165,7 @@ func Run(pl *Plane, cfg Config) (*Result, error) {
 	elapsed := time.Since(start)
 
 	res := &Result{Workers: workers, Elapsed: elapsed, PerWorker: make([]WorkerStats, workers)}
-	var samples []sample
+	var samples []Sample
 	for w, sh := range shards {
 		if sh.err != nil {
 			return nil, sh.err
@@ -176,7 +179,7 @@ func Run(pl *Plane, cfg Config) (*Result, error) {
 		samples = append(samples, sh.samples...)
 	}
 	if cfg.Oracle != nil {
-		res.Stretch, err = stretchQuantiles(cfg.Oracle, samples)
+		res.Stretch, err = StretchQuantiles(cfg.Oracle, samples)
 		if err != nil {
 			return nil, err
 		}
@@ -185,11 +188,12 @@ func Run(pl *Plane, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// split divides total packets across workers, front-loading remainders:
-// worker w serves total/workers plus one when w < total%workers. The
-// replay tests mirror this partition, so it is part of the engine's
-// determinism contract.
-func split(total int64, workers int) []int64 {
+// SplitQuota divides total packets across workers, front-loading
+// remainders: worker w serves total/workers plus one when
+// w < total%workers. The replay tests and the cluster engine's
+// injector streams mirror this partition, so it is part of the
+// determinism contract shared by both serving layers.
+func SplitQuota(total int64, workers int) []int64 {
 	quotas := make([]int64, workers)
 	base, rem := total/int64(workers), total%int64(workers)
 	for w := range quotas {
@@ -201,33 +205,35 @@ func split(total int64, workers int) []int64 {
 	return quotas
 }
 
-// stretchQuantiles computes measured-over-true roundtrip stretch for the
-// samples. Samples are grouped by source so each distinct source costs
-// two oracle rows (one forward, one reverse) no matter how many packets
-// it sent — the same anchored-row discipline the scheme constructions
-// use, which keeps a lazy oracle's work proportional to distinct
-// sources, not packets.
-func stretchQuantiles(m graph.DistanceOracle, samples []sample) (eval.Quantiles, error) {
+// StretchQuantiles computes measured-over-true roundtrip stretch for
+// the samples. Samples are grouped by source so each distinct source
+// costs two oracle rows (one forward, one reverse) no matter how many
+// packets it sent — the same anchored-row discipline the scheme
+// constructions use, which keeps a lazy oracle's work proportional to
+// distinct sources, not packets. The sample order does not matter: the
+// pass sorts internally, so concurrently collected shards fold into the
+// same quantiles as a sequential replay.
+func StretchQuantiles(m graph.DistanceOracle, samples []Sample) (eval.Quantiles, error) {
 	sort.Slice(samples, func(i, j int) bool {
-		if samples[i].src != samples[j].src {
-			return samples[i].src < samples[j].src
+		if samples[i].Src != samples[j].Src {
+			return samples[i].Src < samples[j].Src
 		}
-		return samples[i].dst < samples[j].dst
+		return samples[i].Dst < samples[j].Dst
 	})
 	xs := make([]float64, 0, len(samples))
 	var fwd, rev []graph.Dist
 	cur := graph.NodeID(-1)
 	for _, s := range samples {
-		if s.src != cur {
-			cur = s.src
+		if s.Src != cur {
+			cur = s.Src
 			fwd = m.FromSource(cur)
 			rev = m.ToSink(cur)
 		}
-		r := graph.RFromRows(fwd, rev, s.dst)
+		r := graph.RFromRows(fwd, rev, s.Dst)
 		if r <= 0 || r >= graph.Inf {
-			return eval.Quantiles{}, fmt.Errorf("traffic: degenerate roundtrip distance for (%d,%d)", s.src, s.dst)
+			return eval.Quantiles{}, fmt.Errorf("traffic: degenerate roundtrip distance for (%d,%d)", s.Src, s.Dst)
 		}
-		xs = append(xs, float64(s.weight)/float64(r))
+		xs = append(xs, float64(s.Weight)/float64(r))
 	}
 	return eval.QuantilesOf(xs), nil
 }

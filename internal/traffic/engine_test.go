@@ -60,7 +60,7 @@ func TestSplitPartition(t *testing.T) {
 		total   int64
 		workers int
 	}{{100, 4}, {101, 4}, {3, 8}, {1, 1}, {7, 3}} {
-		qs := split(c.total, c.workers)
+		qs := SplitQuota(c.total, c.workers)
 		var sum int64
 		for i, q := range qs {
 			sum += q
@@ -112,7 +112,7 @@ func TestEngineMatchesSequentialReplay(t *testing.T) {
 		hdrHist      eval.Hist
 		stretches    []float64
 	)
-	for w, quota := range split(packets, workers) {
+	for w, quota := range SplitQuota(packets, workers) {
 		gen := wl.Generator(w)
 		for i := int64(0); i < quota; i++ {
 			src, dst := gen.Next()

@@ -1,0 +1,299 @@
+package wire
+
+import (
+	"fmt"
+	"math"
+
+	"rtroute/internal/core"
+	"rtroute/internal/graph"
+	"rtroute/internal/sim"
+)
+
+// This file is the cluster frame codec: the envelope a packet wears
+// while it is *between* shards. A frame is one transport message — the
+// shard routing preamble (who the roundtrip is for, which leg it is on,
+// the per-leg totals accumulated so far, where the completion report
+// must go) followed, for in-flight packets, by the live header in its
+// bare frame-embedded form (kind byte + body; the enclosing frame
+// already carries magic and version). Frames are length-delimited by
+// the transport (a channel element in process, a length-prefixed TCP
+// segment on the network), so the header section simply extends to the
+// end of the frame and costs no inner length prefix.
+
+// FrameKind discriminates cluster frames.
+type FrameKind byte
+
+const (
+	// FramePacket is an in-flight packet crossing a shard boundary.
+	FramePacket FrameKind = 1
+	// FrameInject asks the shard owning SrcName's node to start a
+	// roundtrip (header creation is the source's job, so injection must
+	// land on the source's shard; a shard re-routes foreign injects).
+	FrameInject FrameKind = 2
+	// FrameDone reports a completed roundtrip back to its home.
+	FrameDone FrameKind = 3
+	// FrameInfoReq asks a shard to describe its deployment.
+	FrameInfoReq FrameKind = 4
+	// FrameInfo answers FrameInfoReq.
+	FrameInfo FrameKind = 5
+)
+
+// Home values of a frame: non-negative is the shard the completion
+// report must be sent to (Origin is that shard's reply token for the
+// client connection the inject arrived on).
+const (
+	// HomeLocal marks in-process roundtrips: the completing shard
+	// records the roundtrip in its own stats and no Done frame flows.
+	HomeLocal int32 = -1
+	// HomeClient marks injects arriving fresh from a client connection;
+	// the first shard that receives one stamps Home/Origin before
+	// processing or re-routing it.
+	HomeClient int32 = -2
+)
+
+// LegTotals is one leg's accumulated flight record, the frame's portable
+// form of sim.Flight.
+type LegTotals struct {
+	Hops           int32
+	Weight         graph.Dist
+	MaxHeaderWords int32
+}
+
+// Frame is the decoded form of one cluster transport message.
+type Frame struct {
+	Kind             FrameKind
+	SrcName, DstName int32
+	// Return is true once the packet is on its return leg.
+	Return bool
+	// At is the node where the next Forward runs (FramePacket).
+	At graph.NodeID
+	// Out and Back accumulate each leg's totals; the leg in flight is
+	// partial, the other is final.
+	Out, Back LegTotals
+	// Home and Origin say where the completion report goes (see the
+	// Home* constants).
+	Home    int32
+	Origin  uint64
+	Sampled bool
+	// Header is the in-flight packet's header in its frame-embedded
+	// bare form — kind byte plus body, no envelope; decode with
+	// HeaderDecoder.DecodeBare (FramePacket only). After UnmarshalFrame
+	// it aliases the input buffer: decode it before recycling the frame
+	// bytes.
+	Header []byte
+	// Info payload (FrameInfo only).
+	SchemeKind core.Kind
+	Nodes      int32
+	Shards     int32
+}
+
+// AppendFrame encodes f and appends the bytes to dst, returning the
+// extended slice. For packet frames the live header h is marshaled
+// directly into the frame (f.Header is ignored); for every other kind h
+// must be nil.
+func AppendFrame(dst []byte, f *Frame, h sim.Header) ([]byte, error) {
+	e := &encoder{buf: dst}
+	e.envelope(blobFrame, core.Kind(f.Kind))
+	switch f.Kind {
+	case FramePacket:
+		e.i(int64(f.SrcName))
+		e.i(int64(f.DstName))
+		e.b(f.Return)
+		e.i(int64(f.At))
+		e.legTotals(f.Out)
+		e.legTotals(f.Back)
+		e.i(int64(f.Home))
+		e.u(f.Origin)
+		e.b(f.Sampled)
+		if h != nil {
+			if err := e.headerBare(h); err != nil {
+				return nil, err
+			}
+		} else {
+			e.buf = append(e.buf, f.Header...)
+		}
+	case FrameInject:
+		if h != nil {
+			return nil, fmt.Errorf("wire: inject frame carries no header")
+		}
+		e.i(int64(f.SrcName))
+		e.i(int64(f.DstName))
+		e.i(int64(f.Home))
+		e.u(f.Origin)
+		e.b(f.Sampled)
+	case FrameDone:
+		if h != nil {
+			return nil, fmt.Errorf("wire: done frame carries no header")
+		}
+		e.i(int64(f.SrcName))
+		e.i(int64(f.DstName))
+		e.legTotals(f.Out)
+		e.legTotals(f.Back)
+		e.u(f.Origin)
+		e.b(f.Sampled)
+	case FrameInfoReq:
+		if h != nil {
+			return nil, fmt.Errorf("wire: info request carries no header")
+		}
+	case FrameInfo:
+		if h != nil {
+			return nil, fmt.Errorf("wire: info frame carries no header")
+		}
+		e.byte1(byte(f.SchemeKind))
+		e.i(int64(f.Nodes))
+		e.i(int64(f.Shards))
+	default:
+		return nil, fmt.Errorf("wire: unknown frame kind %d", f.Kind)
+	}
+	return e.buf, nil
+}
+
+// MarshalFrame is AppendFrame into a fresh buffer.
+func MarshalFrame(f *Frame, h sim.Header) ([]byte, error) {
+	return AppendFrame(nil, f, h)
+}
+
+// UnmarshalFrame decodes one transport message into *f (overwriting
+// every field). Packet frames leave the header as raw bytes in f.Header
+// — aliasing data — for the shard to decode with
+// HeaderDecoder.DecodeBare.
+func UnmarshalFrame(data []byte, f *Frame) error {
+	d := &decoder{data: data}
+	kind, err := d.envelope(blobFrame)
+	if err != nil {
+		return err
+	}
+	*f = Frame{Kind: FrameKind(kind)}
+	switch f.Kind {
+	case FramePacket:
+		if err := d.framePair(f); err != nil {
+			return err
+		}
+		if f.Return, err = d.b(); err != nil {
+			return err
+		}
+		at, err := d.i32()
+		if err != nil {
+			return err
+		}
+		f.At = graph.NodeID(at)
+		if f.Out, err = d.legTotals(); err != nil {
+			return err
+		}
+		if f.Back, err = d.legTotals(); err != nil {
+			return err
+		}
+		if err := d.homeOrigin(f); err != nil {
+			return err
+		}
+		if f.Sampled, err = d.b(); err != nil {
+			return err
+		}
+		if d.remaining() == 0 {
+			return d.fail("packet frame missing header section")
+		}
+		f.Header = d.data[d.off:]
+		return nil // header consumes the rest; nothing can trail it
+	case FrameInject:
+		if err := d.framePair(f); err != nil {
+			return err
+		}
+		if err := d.homeOrigin(f); err != nil {
+			return err
+		}
+		if f.Sampled, err = d.b(); err != nil {
+			return err
+		}
+	case FrameDone:
+		if err := d.framePair(f); err != nil {
+			return err
+		}
+		if f.Out, err = d.legTotals(); err != nil {
+			return err
+		}
+		if f.Back, err = d.legTotals(); err != nil {
+			return err
+		}
+		if f.Origin, err = d.u(); err != nil {
+			return err
+		}
+		if f.Sampled, err = d.b(); err != nil {
+			return err
+		}
+	case FrameInfoReq:
+		// no payload
+	case FrameInfo:
+		k, err := d.byte1()
+		if err != nil {
+			return err
+		}
+		f.SchemeKind = core.Kind(k)
+		if f.Nodes, err = d.i32(); err != nil {
+			return err
+		}
+		if f.Shards, err = d.i32(); err != nil {
+			return err
+		}
+	default:
+		return d.fail("unknown frame kind %d", byte(f.Kind))
+	}
+	return d.done()
+}
+
+func (e *encoder) legTotals(t LegTotals) {
+	e.i(int64(t.Hops))
+	e.i(int64(t.Weight))
+	e.i(int64(t.MaxHeaderWords))
+}
+
+func (d *decoder) legTotals() (LegTotals, error) {
+	var t LegTotals
+	var err error
+	if t.Hops, err = d.i32(); err != nil {
+		return t, err
+	}
+	if t.Hops < 0 {
+		return t, d.fail("negative leg hops %d", t.Hops)
+	}
+	w, err := d.i()
+	if err != nil {
+		return t, err
+	}
+	if w < 0 || w > int64(graph.Inf) {
+		return t, d.fail("leg weight %d outside [0, Inf]", w)
+	}
+	t.Weight = graph.Dist(w)
+	if t.MaxHeaderWords, err = d.i32(); err != nil {
+		return t, err
+	}
+	if t.MaxHeaderWords < 0 {
+		return t, d.fail("negative header words %d", t.MaxHeaderWords)
+	}
+	return t, nil
+}
+
+func (d *decoder) framePair(f *Frame) error {
+	var err error
+	if f.SrcName, err = d.i32(); err != nil {
+		return err
+	}
+	if f.DstName, err = d.i32(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (d *decoder) homeOrigin(f *Frame) error {
+	home, err := d.i()
+	if err != nil {
+		return err
+	}
+	if home < int64(HomeClient) || home > math.MaxInt32 {
+		return d.fail("frame home %d outside [-2, MaxInt32]", home)
+	}
+	f.Home = int32(home)
+	if f.Origin, err = d.u(); err != nil {
+		return err
+	}
+	return nil
+}

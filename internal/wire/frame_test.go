@@ -1,0 +1,143 @@
+package wire
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestFrameRoundtrip locks the frame codec: every kind encodes and
+// decodes bit-identically, and a packet frame's embedded header decodes
+// back to a header with the original word count.
+func TestFrameRoundtrip(t *testing.T) {
+	planes, _ := testPlanes(t, 16, 31)
+	for name, p := range planes {
+		h, err := p.NewHeader(4, 9)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		in := Frame{
+			Kind: FramePacket, SrcName: 4, DstName: 9, Return: true, At: 7,
+			Out:  LegTotals{Hops: 3, Weight: 41, MaxHeaderWords: 12},
+			Back: LegTotals{Hops: 1, Weight: 5, MaxHeaderWords: 12},
+			Home: 2, Origin: 99, Sampled: true,
+		}
+		blob, err := MarshalFrame(&in, h)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		var out Frame
+		if err := UnmarshalFrame(blob, &out); err != nil {
+			t.Fatalf("%s: unmarshal: %v", name, err)
+		}
+		hdr := out.Header
+		out.Header = nil
+		in.Header = nil
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("%s: preamble mismatch:\n in: %+v\nout: %+v", name, in, out)
+		}
+		var hdec HeaderDecoder
+		h2, err := hdec.DecodeBare(hdr)
+		if err != nil {
+			t.Fatalf("%s: embedded header: %v", name, err)
+		}
+		if h2.Words() != h.Words() {
+			t.Fatalf("%s: embedded header words %d, want %d", name, h2.Words(), h.Words())
+		}
+	}
+
+	for _, in := range []Frame{
+		{Kind: FrameInject, SrcName: 1, DstName: 14, Home: HomeClient, Origin: 0, Sampled: true},
+		{Kind: FrameInject, SrcName: 3, DstName: 2, Home: 5, Origin: 12},
+		{Kind: FrameDone, SrcName: 1, DstName: 14,
+			Out: LegTotals{Hops: 2, Weight: 9, MaxHeaderWords: 8}, Back: LegTotals{Hops: 4, Weight: 11, MaxHeaderWords: 8}, Origin: 12},
+		{Kind: FrameInfoReq},
+		{Kind: FrameInfo, SchemeKind: 2, Nodes: 1024, Shards: 8},
+	} {
+		blob, err := MarshalFrame(&in, nil)
+		if err != nil {
+			t.Fatalf("kind %d: marshal: %v", in.Kind, err)
+		}
+		var out Frame
+		if err := UnmarshalFrame(blob, &out); err != nil {
+			t.Fatalf("kind %d: unmarshal: %v", in.Kind, err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("kind %d mismatch:\n in: %+v\nout: %+v", in.Kind, in, out)
+		}
+		if in.Kind != FramePacket {
+			if err := UnmarshalFrame(append(blob, 0), &out); err == nil {
+				t.Fatalf("kind %d: trailing garbage accepted", in.Kind)
+			}
+		}
+	}
+}
+
+// TestFrameDecodeRejects locks strictness: truncation, bad kinds and a
+// missing header section all error.
+func TestFrameDecodeRejects(t *testing.T) {
+	blob, err := MarshalFrame(&Frame{Kind: FrameInject, SrcName: 1, DstName: 2, Home: HomeLocal}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f Frame
+	for cut := 1; cut < len(blob); cut++ {
+		if err := UnmarshalFrame(blob[:cut], &f); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	bad := append([]byte(nil), blob...)
+	bad[6] = 77 // frame kind slot
+	if err := UnmarshalFrame(bad, &f); err == nil {
+		t.Fatal("unknown frame kind accepted")
+	}
+	if _, err := MarshalFrame(&Frame{Kind: 77}, nil); err == nil {
+		t.Fatal("unknown frame kind encoded")
+	}
+	// A packet frame must carry a header section.
+	pkt, err := MarshalFrame(&Frame{Kind: FramePacket, Header: []byte{1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := UnmarshalFrame(pkt[:len(pkt)-1], &f); err == nil {
+		t.Fatal("packet frame without header accepted")
+	}
+}
+
+// TestPeekSnapshot locks the cheap preamble reader and the ErrVersion
+// sentinel for snapshots written by a different format version.
+func TestPeekSnapshot(t *testing.T) {
+	planes, _ := testPlanes(t, 16, 33)
+	for name, p := range planes {
+		blob, err := MarshalScheme(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		info, err := PeekSnapshot(blob)
+		if err != nil {
+			t.Fatalf("%s: peek: %v", name, err)
+		}
+		if info.Version != Version || info.Nodes != 16 {
+			t.Fatalf("%s: peek got %+v", name, info)
+		}
+		dep, err := UnmarshalScheme(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dep.Kind() != info.Kind {
+			t.Fatalf("%s: peek kind %v, decode kind %v", name, info.Kind, dep.Kind())
+		}
+		// Bump the version varint (currently one byte) and require the
+		// sentinel from both the peek and the full decode.
+		mut := append([]byte(nil), blob...)
+		mut[4] = Version + 1
+		if info, err = PeekSnapshot(mut); !errors.Is(err, ErrVersion) {
+			t.Fatalf("%s: version bump: got %v", name, err)
+		} else if info.Version != Version+1 {
+			t.Fatalf("%s: peek reported version %d, want %d", name, info.Version, Version+1)
+		}
+		if _, err := UnmarshalScheme(mut); !errors.Is(err, ErrVersion) {
+			t.Fatalf("%s: decode version bump: got %v", name, err)
+		}
+	}
+}

@@ -45,6 +45,61 @@ func FuzzUnmarshalScheme(f *testing.F) {
 	})
 }
 
+// FuzzUnmarshalFrame: same contract for cluster transport frames. A
+// successful decode must re-encode, and a packet frame's embedded
+// header blob must itself decode.
+func FuzzUnmarshalFrame(f *testing.F) {
+	planes, _ := testPlanes(f, 16, 23)
+	for _, p := range planes {
+		h, err := p.NewHeader(2, 3)
+		if err != nil {
+			f.Fatal(err)
+		}
+		blob, err := MarshalFrame(&Frame{
+			Kind: FramePacket, SrcName: 2, DstName: 3, At: 5,
+			Out:  LegTotals{Hops: 4, Weight: 17, MaxHeaderWords: 9},
+			Home: HomeLocal, Sampled: true,
+		}, h)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+		f.Add(blob[:len(blob)-2])
+		mut := append([]byte(nil), blob...)
+		mut[len(mut)/2] ^= 0x81
+		f.Add(mut)
+	}
+	for _, fr := range []*Frame{
+		{Kind: FrameInject, SrcName: 1, DstName: 2, Home: HomeClient},
+		{Kind: FrameDone, SrcName: 1, DstName: 2, Origin: 7},
+		{Kind: FrameInfoReq},
+		{Kind: FrameInfo, SchemeKind: 1, Nodes: 16, Shards: 8},
+	} {
+		blob, err := MarshalFrame(fr, nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("RTWF\x01\x03\x01"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fr Frame
+		if err := UnmarshalFrame(data, &fr); err != nil {
+			return
+		}
+		if fr.Kind == FramePacket {
+			var hdec HeaderDecoder
+			if _, err := hdec.DecodeBare(fr.Header); err != nil {
+				return // preamble valid, header garbage: fine, it errors
+			}
+		}
+		if _, err := MarshalFrame(&fr, nil); err != nil {
+			t.Fatalf("decoded frame does not re-encode: %v", err)
+		}
+	})
+}
+
 // FuzzUnmarshalHeader: same contract for header packets.
 func FuzzUnmarshalHeader(f *testing.F) {
 	planes, _ := testPlanes(f, 16, 22)

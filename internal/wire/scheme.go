@@ -59,6 +59,52 @@ func NodeSizes(p sim.Plane) ([]int, error) {
 	return sizes, nil
 }
 
+// SnapshotInfo is what PeekSnapshot reads from a scheme blob's preamble:
+// enough to say what the snapshot is before paying for the full decode.
+type SnapshotInfo struct {
+	Version uint64
+	Kind    core.Kind
+	Nodes   int
+}
+
+// PeekSnapshot reads a snapshot's envelope and node count without
+// decoding the graph or any table. A version mismatch still reports the
+// blob's version alongside an error wrapping ErrVersion, so callers can
+// tell "snapshot from another release" apart from corruption.
+func PeekSnapshot(data []byte) (SnapshotInfo, error) {
+	var info SnapshotInfo
+	d := &decoder{data: data}
+	ver, err := d.preamble()
+	if err != nil {
+		return info, err
+	}
+	info.Version = ver
+	if ver != Version {
+		return info, fmt.Errorf("wire: %w: blob has version %d, this build reads %d", ErrVersion, ver, Version)
+	}
+	bt, err := d.byte1()
+	if err != nil {
+		return info, err
+	}
+	if bt != blobScheme {
+		return info, d.fail("blob type %d is not a scheme snapshot", bt)
+	}
+	k, err := d.byte1()
+	if err != nil {
+		return info, err
+	}
+	info.Kind = core.Kind(k)
+	nu, err := d.u()
+	if err != nil {
+		return info, err
+	}
+	if nu > maxNodes {
+		return info, d.fail("node count %d exceeds limit", nu)
+	}
+	info.Nodes = int(nu)
+	return info, nil
+}
+
 // UnmarshalScheme decodes a scheme snapshot and reassembles it as a
 // Deployment of per-node routers, recording each node's encoded size.
 func UnmarshalScheme(data []byte) (*core.Deployment, error) {

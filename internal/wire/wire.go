@@ -35,6 +35,7 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 
@@ -54,7 +55,13 @@ var magic = [4]byte{'R', 'T', 'W', 'F'}
 const (
 	blobScheme byte = 1
 	blobHeader byte = 2
+	blobFrame  byte = 3
 )
+
+// ErrVersion is wrapped by every decode failure caused by a format
+// version this build does not read, so tools can distinguish "snapshot
+// from a different release" from a corrupt blob and say so.
+var ErrVersion = errors.New("wire: unsupported format version")
 
 // maxNodes caps the node count a scheme blob may declare, far above any
 // graph this repository can build but low enough to bound hostile
@@ -73,11 +80,20 @@ func (e *encoder) envelope(blobType byte, kind core.Kind) {
 	e.buf = append(e.buf, blobType, byte(kind))
 }
 
-// u appends an unsigned varint.
-func (e *encoder) u(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+// u appends an unsigned varint. Header fields are overwhelmingly tiny
+// (names, ports, DFS-time deltas), so the single-byte case is inlined;
+// the slow path is bit-identical binary.AppendUvarint.
+func (e *encoder) u(v uint64) {
+	if v < 0x80 {
+		e.buf = append(e.buf, byte(v))
+		return
+	}
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
 
-// i appends a zigzag-encoded signed varint.
-func (e *encoder) i(v int64) { e.buf = binary.AppendVarint(e.buf, v) }
+// i appends a zigzag-encoded signed varint (the explicit zigzag is
+// byte-identical to binary.AppendVarint).
+func (e *encoder) i(v int64) { e.u(uint64(v<<1) ^ uint64(v>>63)) }
 
 // b appends a bool byte.
 func (e *encoder) b(v bool) {
@@ -96,6 +112,9 @@ func (e *encoder) byte1(v byte) { e.buf = append(e.buf, v) }
 type decoder struct {
 	data []byte
 	off  int
+	// hd, when non-nil, supplies reusable arena storage for decoded
+	// variable-size sections (set by HeaderDecoder).
+	hd *HeaderDecoder
 }
 
 func (d *decoder) fail(format string, args ...any) error {
@@ -105,6 +124,13 @@ func (d *decoder) fail(format string, args ...any) error {
 func (d *decoder) remaining() int { return len(d.data) - d.off }
 
 func (d *decoder) u() (uint64, error) {
+	// Single-byte fast path; the slow path reads the identical format.
+	if d.off < len(d.data) {
+		if b := d.data[d.off]; b < 0x80 {
+			d.off++
+			return uint64(b), nil
+		}
+	}
 	v, n := binary.Uvarint(d.data[d.off:])
 	if n <= 0 {
 		return 0, d.fail("truncated or oversized uvarint")
@@ -114,12 +140,11 @@ func (d *decoder) u() (uint64, error) {
 }
 
 func (d *decoder) i() (int64, error) {
-	v, n := binary.Varint(d.data[d.off:])
-	if n <= 0 {
+	ux, err := d.u()
+	if err != nil {
 		return 0, d.fail("truncated or oversized varint")
 	}
-	d.off += n
-	return v, nil
+	return int64(ux>>1) ^ -int64(ux&1), nil
 }
 
 // i32 decodes a signed varint that must fit int32.
@@ -176,7 +201,10 @@ func (d *decoder) count(minBytes int) (int, error) {
 	return int(v), nil
 }
 
-func (d *decoder) envelope(wantType byte) (core.Kind, error) {
+// preamble reads magic + version, returning the blob's version before
+// enforcing it (PeekSnapshot reports foreign versions, envelope rejects
+// them).
+func (d *decoder) preamble() (uint64, error) {
 	if d.remaining() < len(magic) {
 		return 0, d.fail("blob shorter than magic")
 	}
@@ -186,12 +214,17 @@ func (d *decoder) envelope(wantType byte) (core.Kind, error) {
 		}
 	}
 	d.off += len(magic)
-	ver, err := d.u()
+	return d.u()
+}
+
+func (d *decoder) envelope(wantType byte) (core.Kind, error) {
+	ver, err := d.preamble()
 	if err != nil {
 		return 0, err
 	}
 	if ver != Version {
-		return 0, d.fail("unsupported format version %d (this build reads %d)", ver, Version)
+		return 0, fmt.Errorf("wire: offset %d: %w: blob has version %d, this build reads %d",
+			d.off, ErrVersion, ver, Version)
 	}
 	bt, err := d.byte1()
 	if err != nil {
@@ -248,7 +281,11 @@ func (d *decoder) treeLabel() (tree.Label, error) {
 		return l, err
 	}
 	if c > 0 {
-		l.Light = make([]tree.LightHop, c)
+		if d.hd != nil {
+			l.Light = d.hd.light.take(c)
+		} else {
+			l.Light = make([]tree.LightHop, c)
+		}
 		prev := int64(0)
 		for i := range l.Light {
 			dv, err := d.i()

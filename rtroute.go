@@ -30,7 +30,10 @@
 // release. Built schemes decompose into per-node state: Deploy
 // reassembles a scheme as per-node Routers, and MarshalScheme /
 // UnmarshalScheme snapshot it through the versioned binary wire format
-// (see DESIGN.md "Wire format & deployment").
+// (see DESIGN.md "Wire format & deployment"). Deployments also serve
+// from a sharded cluster — ServeCluster in process, cmd/rtserve as
+// one-daemon-per-shard over TCP — with packets crossing shard
+// boundaries as wire-encoded frames (DESIGN.md "Cluster serving").
 package rtroute
 
 import (
