@@ -25,6 +25,7 @@ fuzz-smoke:
 	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzUnmarshalScheme -fuzztime 5s
 	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzUnmarshalHeader -fuzztime 5s
 	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzUnmarshalFrame -fuzztime 5s
+	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzUnmarshalFlightFrame -fuzztime 5s
 
 # E14 space certification: per-node encoded bytes across n=256..4096
 # (also: rtroute -sizes).
@@ -58,7 +59,7 @@ traffic-large:
 # (E15); both wire-encode every boundary-crossing packet.
 cluster:
 	$(GO) run -race ./cmd/rtbench -exp cluster -n 96 -packets 20000 -shards 8 -placement rtz -seed 1
-	$(GO) test -race -run 'TestClusterMatchesSequentialRun|TestTCPLoopback' ./internal/cluster
+	$(GO) test -race -run 'TestClusterMatchesSequentialRun|TestClusterSurvivesReorderingAdversary|TestPipelinedTCPMatchesSequential|TestTCPLoopback|TestTCPFlappingPeer' ./internal/cluster
 
 # Docs gate: README/DESIGN Go fences must parse (gofmt-clean when
 # written as complete files) and relative links must resolve.
@@ -76,7 +77,7 @@ bench-smoke:
 # Canonical perf suite -> committed trajectory artifact (E13). Bump the
 # output name per PR: BENCH_PR3.json, BENCH_PR4.json, ...
 bench-json:
-	$(GO) run ./cmd/rtbench -exp bench -json -out BENCH_PR5.json
+	$(GO) run ./cmd/rtbench -exp bench -json -out BENCH_PR6.json
 
 # Before/after comparisons: run `make benchcmp OUT=old.txt` on the old
 # commit, again with OUT=new.txt on the new one, then

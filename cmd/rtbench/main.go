@@ -15,7 +15,7 @@
 //	                                           # concurrent serving engine (E12/S3)
 //	rtbench -exp cluster -n 256 -shards 8 -placement rtz -packets 200000
 //	                                           # sharded cluster serving (E15/S6)
-//	rtbench -exp bench -json -out BENCH_PR5.json
+//	rtbench -exp bench -json -out BENCH_PR6.json
 //	                                           # canonical perf suite -> trajectory artifact (E13)
 package main
 
@@ -41,7 +41,7 @@ func main() {
 		cache  = flag.Int("lazy-cache", 0, "lazy oracle row-cache budget (0 = default)")
 	)
 	flag.BoolVar(&benchJSON, "json", false, "bench: also write the report as JSON")
-	flag.StringVar(&benchOut, "out", "BENCH_PR5.json", "bench: JSON output path (with -json)")
+	flag.StringVar(&benchOut, "out", "BENCH_PR6.json", "bench: JSON output path (with -json)")
 	flag.IntVar(&trafficWorkers, "workers", 0, "traffic: serving goroutines (0 = GOMAXPROCS)")
 	flag.StringVar(&trafficWorkload, "workload", "zipf", "traffic: pair distribution: uniform|zipf|hotspot|rpc")
 	flag.Float64Var(&trafficZipf, "zipf", 0.9, "traffic: zipf skew theta in [0,1)")

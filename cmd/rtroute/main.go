@@ -15,6 +15,7 @@
 //	rtroute -sizes
 //	rtroute -connect 127.0.0.1:7070 -src 3 -dst 17
 //	rtroute -connect 127.0.0.1:7070 -pairs 100 -seed 2
+//	rtroute -connect 127.0.0.1:7070 -pairs 10000 -window 256
 package main
 
 import (
@@ -29,6 +30,7 @@ import (
 
 	"rtroute"
 	"rtroute/internal/cluster"
+	"rtroute/internal/wire"
 )
 
 func main() {
@@ -50,6 +52,7 @@ func main() {
 		sizesNs = flag.String("sizes-ns", "256,1024,4096", "comma-separated graph sizes for -sizes")
 		connect = flag.String("connect", "", "route through a running rtserve cluster at this shard address instead of a local scheme")
 		pairs   = flag.Int("pairs", 0, "with -connect: route this many random pairs and summarize (0 = the single -src/-dst pair)")
+		window  = flag.Int("window", 1, "with -connect -pairs: keep this many roundtrips in flight (pipelined, out-of-order completion)")
 	)
 	flag.Parse()
 
@@ -61,7 +64,7 @@ func main() {
 		return
 	}
 	if *connect != "" {
-		if err := runConnect(*connect, int32(*src), int32(*dst), *pairs, *seed); err != nil {
+		if err := runConnect(*connect, int32(*src), int32(*dst), *pairs, *window, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "rtroute:", err)
 			os.Exit(1)
 		}
@@ -101,7 +104,7 @@ func runSizes(nsSpec string, seed int64) error {
 // runConnect is the network-client mode: roundtrips are injected into a
 // running rtserve shard cluster and certified totals come back as Done
 // frames — no scheme is built or loaded locally.
-func runConnect(addr string, src, dst int32, pairs int, seed int64) error {
+func runConnect(addr string, src, dst int32, pairs, window int, seed int64) error {
 	cl, err := cluster.DialClient(addr)
 	if err != nil {
 		return err
@@ -130,24 +133,32 @@ func runConnect(addr string, src, dst int32, pairs int, seed int64) error {
 		return fmt.Errorf("cluster serves %d node(s); -pairs needs at least 2", n)
 	}
 	rng := rand.New(rand.NewSource(seed))
-	var hops, weight int64
-	start := time.Now()
-	for i := 0; i < pairs; i++ {
+	ps := make([]cluster.Pair, pairs)
+	for i := range ps {
 		s := int32(rng.Intn(n))
 		d := int32(rng.Intn(n - 1))
 		if d >= s {
 			d++
 		}
-		out, back, err := cl.Roundtrip(s, d)
-		if err != nil {
-			return fmt.Errorf("pair %d (%d->%d): %w", i, s, d, err)
-		}
+		ps[i] = cluster.Pair{Src: s, Dst: d}
+	}
+	var hops, weight int64
+	start := time.Now()
+	err = cl.Roundtrips(ps, window, func(i int, out, back wire.LegTotals) error {
 		hops += int64(out.Hops) + int64(back.Hops)
 		weight += int64(out.Weight) + int64(back.Weight)
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	elapsed := time.Since(start)
 	fmt.Printf("%d roundtrips over the cluster: %d hops, total weight %d\n", pairs, hops, weight)
-	fmt.Printf("%.0f roundtrips/s (single synchronous client)\n", float64(pairs)/elapsed.Seconds())
+	if window > 1 {
+		fmt.Printf("%.0f roundtrips/s (window %d in flight)\n", float64(pairs)/elapsed.Seconds(), window)
+	} else {
+		fmt.Printf("%.0f roundtrips/s (single synchronous client)\n", float64(pairs)/elapsed.Seconds())
+	}
 	return nil
 }
 

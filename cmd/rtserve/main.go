@@ -13,6 +13,14 @@
 //	rtserve -shard 0 -addrs 127.0.0.1:7070,127.0.0.1:7071 -load s6.rtwf &
 //	rtserve -shard 1 -addrs 127.0.0.1:7070,127.0.0.1:7071 -load s6.rtwf &
 //	rtroute -connect 127.0.0.1:7070 -src 3 -dst 17
+//	rtroute -connect 127.0.0.1:7070 -pairs 20000 -window 256
+//
+// Packets cross shards as fixed-layout flight frames (patched in place
+// on clean crossings, labels decoded only at the owning endpoints), and
+// clients may keep a window of tagged roundtrips in flight — the
+// daemons complete them out of order. A peer daemon that dies fails
+// sends fast (the shard counts and drops) while the link redials in the
+// background; it recovers when the daemon returns.
 //
 // Stop a daemon with SIGINT/SIGTERM; it prints its serving stats on the
 // way down.

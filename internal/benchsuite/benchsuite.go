@@ -318,6 +318,10 @@ func BenchClusterThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	// Collect the build-time garbage (scheme construction, all-pairs
+	// distances) before timing: leftover heap from earlier runs in the
+	// same process otherwise inflates GC pressure for later ones.
+	runtime.GC()
 	b.ResetTimer()
 	res, err := cluster.Run(dep, cluster.Config{
 		Shards:    8,
@@ -333,8 +337,10 @@ func BenchClusterThroughput(b *testing.B) {
 	b.ReportMetric(res.PacketsPerSec(), "packets/s")
 	b.ReportMetric(res.HopsPerSec(), "hops/s")
 	if res.Packets > 0 {
-		b.ReportMetric(float64(res.CrossShard)/float64(res.Packets), "xframes/rt")
+		b.ReportMetric(res.CrossingsPerRT(), "xframes/rt")
+		b.ReportMetric(res.AllocsPerRT(), "allocs/rt")
 	}
+	b.ReportMetric(res.WindowOccupancy, "window-occ")
 }
 
 // BenchMarshalScheme measures full-scheme snapshot encoding (256-node

@@ -1,0 +1,40 @@
+package cluster
+
+import (
+	"testing"
+
+	"rtroute/internal/traffic"
+)
+
+// TestClusterZeroAllocsPerRoundtrip is the crossing-path allocation
+// gate: with flight frames patched in place, recycled frame slabs and
+// batched completion tracking, a steady-state roundtrip allocates
+// nothing on the serving path. The run's Mallocs counter (measured
+// across the whole serving phase) still sees the one-time warmup —
+// goroutine stacks, first-batch slab growth, histogram spine — so the
+// gate is amortized: well under one allocation per roundtrip, where a
+// single per-crossing allocation would show up as ~7 and a single
+// per-roundtrip allocation as 1.
+func TestClusterZeroAllocsPerRoundtrip(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	deps, _ := testDeployments(t, 64, 7)
+	dep := deps["stretch6"]
+	cfg := Config{
+		Shards: 4, Workers: 1, Packets: 20000,
+		Workload: traffic.Spec{Kind: traffic.Zipf, ZipfTheta: 0.9},
+		Seed:     5, InFlight: 512, Batch: 64,
+	}
+	res, err := Run(dep, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets != cfg.Packets {
+		t.Fatalf("served %d of %d packets", res.Packets, cfg.Packets)
+	}
+	if perRT := res.AllocsPerRT(); perRT >= 0.25 {
+		t.Fatalf("%.3f allocs per roundtrip (%d over %d roundtrips), want amortized zero (< 0.25)",
+			perRT, res.Mallocs, res.Packets)
+	}
+}

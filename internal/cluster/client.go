@@ -16,11 +16,15 @@ import (
 // needs one connection to one daemon, not the whole address list. The
 // completion report always comes back on this connection.
 //
-// A Client is synchronous and not safe for concurrent use; open one per
-// goroutine (the daemons multiplex any number).
+// A Client is not safe for concurrent use; open one per goroutine (the
+// daemons multiplex any number). Within one goroutine it pipelines:
+// Roundtrips keeps a window of tagged roundtrips in flight and accepts
+// their completions in whatever order the cluster finishes them.
 type Client struct {
 	conn net.Conn
+	tc   *tcpConn
 	rd   *bufio.Reader
+	buf  []byte // reusable frame marshal buffer
 }
 
 // DialClient connects to one shard daemon.
@@ -29,18 +33,19 @@ func DialClient(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn, rd: bufio.NewReader(conn)}, nil
+	return &Client{conn: conn, tc: &tcpConn{c: conn}, rd: bufio.NewReader(conn)}, nil
 }
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
 func (c *Client) send(f *wire.Frame) error {
-	data, err := wire.MarshalFrame(f, nil)
+	data, err := wire.AppendFrame(c.buf[:0], f, nil)
 	if err != nil {
 		return err
 	}
-	return (&tcpConn{c: c.conn}).writeFrame(data)
+	c.buf = data
+	return c.tc.writeFrame(data)
 }
 
 func (c *Client) recv(want wire.FrameKind, f *wire.Frame) error {
@@ -87,4 +92,71 @@ func (c *Client) Roundtrip(srcName, dstName int32) (out, back wire.LegTotals, er
 			f.SrcName, f.DstName, srcName, dstName)
 	}
 	return f.Out, f.Back, nil
+}
+
+// Pair is one requested roundtrip src -> dst -> src.
+type Pair struct {
+	Src, Dst int32
+}
+
+// injectBatchCap bounds how many injects share one socket write in
+// Roundtrips; beyond this, batching buys nothing and only delays the
+// first inject behind the encoding of the rest.
+const injectBatchCap = 64
+
+// Roundtrips pipelines the pairs through the cluster, keeping up to
+// window of them in flight at once. Each inject is tagged with a
+// roundtrip id (its index, plus one so the tag is never zero) which the
+// cluster echoes on the completion report, so completions are accepted
+// in whatever order the shards finish them; each is invoked once per
+// pair, in completion order, with the pair's index and leg totals.
+// Injects are batched into single socket writes as the window opens.
+func (c *Client) Roundtrips(pairs []Pair, window int, each func(i int, out, back wire.LegTotals) error) error {
+	if window < 1 {
+		window = 1
+	}
+	seen := make([]bool, len(pairs))
+	entries := make([]wire.InjectEntry, 0, injectBatchCap)
+	next, done, inflight := 0, 0, 0
+	var f wire.Frame
+	for done < len(pairs) {
+		if next < len(pairs) && inflight < window {
+			entries = entries[:0]
+			for next < len(pairs) && inflight < window && len(entries) < injectBatchCap {
+				entries = append(entries, wire.InjectEntry{
+					Src: pairs[next].Src, Dst: pairs[next].Dst, Rt: uint64(next) + 1,
+				})
+				next++
+				inflight++
+			}
+			c.buf = wire.AppendInjectBatch(c.buf[:0], wire.HomeClient, 0, entries)
+			if err := c.tc.writeFrame(c.buf); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := c.recv(wire.FrameDone, &f); err != nil {
+			return err
+		}
+		if f.Rt == 0 || f.Rt > uint64(len(pairs)) {
+			return fmt.Errorf("cluster: completion with unknown roundtrip id %d", f.Rt)
+		}
+		i := int(f.Rt - 1)
+		if seen[i] {
+			return fmt.Errorf("cluster: duplicate completion for roundtrip %d", f.Rt)
+		}
+		if f.SrcName != pairs[i].Src || f.DstName != pairs[i].Dst {
+			return fmt.Errorf("cluster: completion %d for (%d,%d), expected (%d,%d)",
+				f.Rt, f.SrcName, f.DstName, pairs[i].Src, pairs[i].Dst)
+		}
+		seen[i] = true
+		done++
+		inflight--
+		if each != nil {
+			if err := each(i, f.Out, f.Back); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }

@@ -26,6 +26,7 @@ package cluster
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -71,6 +72,10 @@ type Config struct {
 	InFlight int
 	// Batch bounds one mailbox dequeue (default 64).
 	Batch int
+	// wrapEndpoint, when non-nil, wraps each shard's transport endpoint
+	// — the test hook the reordering-adversary certification uses to
+	// shuffle deliveries without a second transport implementation.
+	wrapEndpoint func(shard int, tr Transport) Transport
 }
 
 // Result aggregates one cluster run, shaped like traffic.Result plus
@@ -95,6 +100,14 @@ type Result struct {
 	// shards under the placement (the measured CrossShardRatio's
 	// topology-blind baseline).
 	CrossEdgeFraction float64
+	// InFlight is the run's window size (resolved default included).
+	InFlight int
+	// WindowOccupancy is the mean number of in-flight roundtrips
+	// sampled at completion times — how full the pipeline actually ran.
+	WindowOccupancy float64
+	// Mallocs counts heap allocations performed during the serving
+	// phase (all goroutines), the alloc-regression gate's numerator.
+	Mallocs uint64
 }
 
 // PacketsPerSec returns the serving rate.
@@ -120,6 +133,23 @@ func (r *Result) CrossShardRatio() float64 {
 		return 0
 	}
 	return float64(r.CrossShard) / float64(r.Hops)
+}
+
+// CrossingsPerRT returns the mean shard crossings per roundtrip.
+func (r *Result) CrossingsPerRT() float64 {
+	if r.Packets == 0 {
+		return 0
+	}
+	return float64(r.CrossShard) / float64(r.Packets)
+}
+
+// AllocsPerRT returns the mean heap allocations per roundtrip over the
+// serving phase.
+func (r *Result) AllocsPerRT() float64 {
+	if r.Packets == 0 {
+		return 0
+	}
+	return float64(r.Mallocs) / float64(r.Packets)
 }
 
 // Run serves cfg.Packets roundtrips through an in-process cluster: S
@@ -165,12 +195,13 @@ func Run(dep *core.Deployment, cfg Config) (*Result, error) {
 	}
 
 	// Mailbox capacity = InFlight: every live roundtrip occupies at
-	// most one queued frame anywhere, so sends can never cycle-wait.
+	// most one queued frame anywhere (a batched inject of k roundtrips
+	// is one message, strictly fewer), so sends can never cycle-wait.
 	bus := NewChanBus(shards, inFlight)
 	remaining := cfg.Packets
-	sem := make(chan struct{}, inFlight)
+	window := NewWindow(inFlight)
 	onDone := func(*wire.Frame) {
-		<-sem
+		window.Put(1)
 		if atomic.AddInt64(&remaining, -1) == 0 {
 			bus.Close()
 		}
@@ -181,7 +212,11 @@ func Run(dep *core.Deployment, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		ss[i] = NewShard(view, place, bus.Endpoint(i), Options{
+		tr := Transport(bus.Endpoint(i))
+		if cfg.wrapEndpoint != nil {
+			tr = cfg.wrapEndpoint(i, tr)
+		}
+		ss[i] = NewShard(view, place, tr, Options{
 			Workers: cfg.Workers, Batch: cfg.Batch, MaxHops: cfg.MaxHops,
 			Strict: true, OnDone: onDone,
 		})
@@ -200,6 +235,8 @@ func Run(dep *core.Deployment, cfg Config) (*Result, error) {
 		mu.Unlock()
 		bus.Close()
 	}
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 	for _, sh := range ss {
 		wg.Add(1)
@@ -212,35 +249,62 @@ func Run(dep *core.Deployment, cfg Config) (*Result, error) {
 	}
 	quotas := traffic.SplitQuota(cfg.Packets, injectors)
 	sample := cfg.Oracle != nil
+	// Injectors run windowed: take a burst of credits, generate that
+	// many pairs, ship them grouped per owning shard as one inject-batch
+	// message each — one window rendezvous and one mailbox send per
+	// burst instead of per roundtrip. The burst scales with the window
+	// (Take never over-claims: it hands out at most what is available).
+	burst := inFlight / (2 * injectors)
+	if burst < 64 {
+		burst = 64
+	}
+	if burst > 256 {
+		burst = 256
+	}
 	for i := 0; i < injectors; i++ {
 		wg.Add(1)
 		go func(i int, quota int64) {
 			defer wg.Done()
 			gen := wl.Generator(i)
-			f := wire.Frame{Kind: wire.FrameInject, Home: wire.HomeLocal}
-			for j := int64(0); j < quota; j++ {
-				src, dst := gen.Next()
-				f.SrcName, f.DstName = src, dst
-				f.Sampled = sample && j%stride == 0
-				data, err := wire.MarshalFrame(&f, nil)
-				if err != nil {
-					abort(err)
-					return
+			byOwner := make([][]wire.InjectEntry, shards)
+			for sent := int64(0); sent < quota; {
+				want := burst
+				if rem := quota - sent; rem < int64(want) {
+					want = int(rem)
 				}
-				select {
-				case sem <- struct{}{}: // in-flight window
-				case <-bus.Done():
+				n := window.Take(want, bus.Done())
+				if n == 0 {
 					return // run aborted under us
 				}
-				owner := place.Shard(dep.NodeOf(src))
-				if err := bus.Send(owner, data); err != nil {
-					return // bus closed: run aborted under us
+				for k := 0; k < n; k++ {
+					src, dst := gen.Next()
+					owner := place.Shard(dep.NodeOf(src))
+					byOwner[owner] = append(byOwner[owner], wire.InjectEntry{
+						Src: src, Dst: dst,
+						Sampled: sample && (sent+int64(k))%stride == 0,
+					})
+				}
+				sent += int64(n)
+				for o := range byOwner {
+					if len(byOwner[o]) == 0 {
+						continue
+					}
+					// The shard owns the buffer after Send (it recycles it
+					// into its frame pool), so each batch cuts a fresh one —
+					// sized upfront, one allocation per ~burst roundtrips.
+					buf := make([]byte, 0, 32+len(byOwner[o])*21)
+					data := wire.AppendInjectBatch(buf, wire.HomeLocal, 0, byOwner[o])
+					byOwner[o] = byOwner[o][:0]
+					if err := bus.Send(o, data); err != nil {
+						return // bus closed: run aborted under us
+					}
 				}
 			}
 		}(i, quotas[i])
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	runtime.ReadMemStats(&msAfter)
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -252,6 +316,9 @@ func Run(dep *core.Deployment, cfg Config) (*Result, error) {
 		Shards: shards, Workers: ss[0].opts.Workers, Placement: place.Policy,
 		Elapsed: elapsed, PerShard: make([]ShardStats, shards),
 		CrossEdgeFraction: place.CrossEdgeFraction(g),
+		InFlight:          inFlight,
+		WindowOccupancy:   window.Occupancy(),
+		Mallocs:           msAfter.Mallocs - msBefore.Mallocs,
 	}
 	var samples []traffic.Sample
 	for i, sh := range ss {
@@ -282,6 +349,8 @@ func (r *Result) Format() string {
 		r.PacketsPerSec(), r.HopsPerSec(), r.HopHist.Mean())
 	b = appendf(b, "cross-shard %d frames  ratio %.3f of hops  (static cross-edge fraction %.3f)\n",
 		r.CrossShard, r.CrossShardRatio(), r.CrossEdgeFraction)
+	b = appendf(b, "pipeline window %d  mean occupancy %.1f  crossings/rt %.2f  allocs/rt %.3f\n",
+		r.InFlight, r.WindowOccupancy, r.CrossingsPerRT(), r.AllocsPerRT())
 	if r.Sampled > 0 {
 		b = appendf(b, "stretch (over %d sampled packets): p50 %.3f  p95 %.3f  p99 %.3f  max %.3f  mean %.3f\n",
 			r.Sampled, r.Stretch.P50, r.Stretch.P95, r.Stretch.P99, r.Stretch.Max, r.Stretch.Mean)

@@ -1,0 +1,7 @@
+//go:build race
+
+package cluster
+
+// raceEnabled skips allocation-count assertions under the race detector,
+// whose instrumentation changes allocation behavior.
+const raceEnabled = true

@@ -62,21 +62,55 @@ type shardWorker struct {
 	// marshal buffers, keeping the crossing hot path allocation-free in
 	// steady state.
 	free [][]byte
+	// slabs recycles received batch slices as pending accumulations, so
+	// ship() grows no fresh slice per flushed batch.
+	slabs [][]InFrame
+}
+
+// slab pops a recycled batch slice for a pending accumulation, or cuts
+// a fresh one at full batch capacity (a single allocation instead of
+// append's doubling climb from nil).
+func (st *shardWorker) slab(batch int) []InFrame {
+	if n := len(st.slabs); n > 0 {
+		s := st.slabs[n-1]
+		st.slabs = st.slabs[:n-1]
+		return s
+	}
+	return make([]InFrame, 0, batch)
+}
+
+// recycleSlab returns a fully-processed received batch slice to the
+// worker, keeping only slices that can hold a full outbound batch —
+// received batches also include singleton sends (injector frames), and
+// pooling their cap-1 backing arrays would make every ship() regrow
+// them. The elements are cleared: every buffer in it has already been
+// recycled or shipped.
+func (st *shardWorker) recycleSlab(frames []InFrame, batch int) {
+	if cap(frames) >= batch && len(st.slabs) < 64 {
+		clear(frames)
+		st.slabs = append(st.slabs, frames[:0])
+	}
 }
 
 // outBuf pops a recycled buffer (or nil) for an outbound frame.
 func (st *shardWorker) outBuf() []byte {
-	if n := len(st.free); n > 0 {
+	for n := len(st.free); n > 0; n = len(st.free) {
 		b := st.free[n-1]
 		st.free = st.free[:n-1]
-		return b[:0]
+		if cap(b) >= st.sizeHint {
+			return b[:0]
+		}
+		// Too small for the frames this worker ships: an encode into it
+		// would grow (allocate) anyway, and the undersized buffer would
+		// come straight back to the list to repeat the miss. Drop it;
+		// the pool converges to right-sized buffers.
 	}
 	return make([]byte, 0, st.sizeHint)
 }
 
 // recycle returns a dead inbound buffer to the worker's free list.
 func (st *shardWorker) recycle(b []byte) {
-	if cap(b) > 0 && len(st.free) < 64 {
+	if cap(b) > 0 && len(st.free) < 256 {
 		st.free = append(st.free, b)
 	}
 }
@@ -114,6 +148,9 @@ type Shard struct {
 	opts    Options
 	info    wire.Frame
 	workers []shardWorker
+	// seg is the shard's hoisted segment runner: port table, ownership
+	// predicate and hop budget resolved once, not per packet.
+	seg *sim.SegmentRunner
 }
 
 // NewShard assembles one shard over its view, placement and transport.
@@ -127,6 +164,10 @@ func NewShard(view *core.ShardView, place *Placement, tr Transport, opts Options
 	s := &Shard{
 		view: view, place: place, tr: tr, opts: opts,
 		workers: make([]shardWorker, opts.Workers),
+		// The segment runner guards every hop with view.Owns before
+		// forwarding, so it can call the deployment directly and skip
+		// the view's own per-hop ownership re-check.
+		seg: sim.NewSegmentRunner(view.Graph(), view.Deployment(), opts.MaxHops, view.Owns),
 	}
 	s.info = wire.Frame{
 		Kind:       wire.FrameInfo,
@@ -203,18 +244,23 @@ func (s *Shard) worker(w int) error {
 		processed := 0
 		for {
 			for i := range frames {
-				if err := s.handle(st, frames[i]); err != nil {
+				retained, err := s.handle(st, frames[i])
+				if err != nil {
 					if s.opts.Strict {
 						return err
 					}
 					st.stats.Errors++
 				}
-				// handle never retains the inbound bytes (headers are
-				// decoded into the worker's arena before it returns), so
-				// the buffer can carry the next outbound frame.
-				st.recycle(frames[i].Data)
+				// A clean crossing repatches the received buffer in place
+				// and ships those same bytes (retained); any other outcome
+				// leaves the buffer dead, free to carry the next outbound
+				// frame.
+				if !retained {
+					st.recycle(frames[i].Data)
+				}
 			}
 			processed += len(frames)
+			st.recycleSlab(frames, s.opts.Batch)
 			if processed >= 4*s.opts.Batch {
 				break
 			}
@@ -247,6 +293,9 @@ func (s *Shard) ship(st *shardWorker, to int, data []byte) error {
 	if to < 0 || to >= len(st.pending) {
 		return fmt.Errorf("cluster: frame addressed to unknown shard %d", to)
 	}
+	if st.pending[to] == nil {
+		st.pending[to] = st.slab(s.opts.Batch)
+	}
 	st.pending[to] = append(st.pending[to], InFrame{Data: data})
 	if len(st.pending[to]) >= s.opts.Batch {
 		frames := st.pending[to]
@@ -277,65 +326,48 @@ func (s *Shard) flush(st *shardWorker) error {
 	return firstErr
 }
 
-// handle processes one received frame.
-func (s *Shard) handle(st *shardWorker, in InFrame) error {
+// handle processes one received frame. retained reports that the
+// inbound buffer was shipped onward (a repatched flight frame) and must
+// not be recycled.
+func (s *Shard) handle(st *shardWorker, in InFrame) (retained bool, err error) {
+	// The two fixed-layout kinds have their own decoders; everything
+	// else — including any message that fails the peek (bad magic, a
+	// foreign version) — goes through UnmarshalFrame for the full
+	// diagnostic.
+	if k, ok := wire.PeekFrameKind(in.Data); ok {
+		switch k {
+		case wire.FrameFlight:
+			return s.handleFlight(st, in)
+		case wire.FrameInjectBatch:
+			return false, s.handleInjectBatch(st, in)
+		}
+	}
 	f := &st.frame
-	err := wire.UnmarshalFrame(in.Data, f)
-	if err != nil {
-		return err
+	if err := wire.UnmarshalFrame(in.Data, f); err != nil {
+		return false, err
 	}
 	switch f.Kind {
 	case wire.FrameInject:
-		// Fresh client injects are stamped with their reply route
-		// before anything else, so re-routing preserves it.
-		if f.Home == wire.HomeClient {
-			f.Home = int32(s.view.Shard())
-			f.Origin = in.Conn
-		}
-		if err := checkName(s.view, f.SrcName); err != nil {
-			return err
-		}
-		if err := checkName(s.view, f.DstName); err != nil {
-			return err
-		}
-		src := s.view.NodeOf(f.SrcName)
-		if !s.view.Owns(src) {
-			// Header creation is the source's job: route the inject to
-			// the shard that owns the source node.
-			data, err := wire.MarshalFrame(f, nil)
-			if err != nil {
-				return err
-			}
-			return s.ship(st, s.place.Shard(src), data)
-		}
-		h := st.inject
-		if h == nil {
-			if h, err = s.view.NewHeader(f.SrcName, f.DstName); err != nil {
-				return err
-			}
-			st.inject = h
-		} else if err = s.view.ResetHeader(h, f.SrcName, f.DstName); err != nil {
-			return err
-		}
-		f.Return = false
-		f.Out, f.Back = wire.LegTotals{}, wire.LegTotals{}
-		return s.advance(st, f, h, sim.Flight{Last: src, MaxHeaderWords: h.Words()})
+		return false, s.inject(st, f, in.Conn)
 	case wire.FramePacket:
+		// The legacy varint packet frame: still decoded (older clients,
+		// hostile-input resilience), re-framed as a flight frame at its
+		// next crossing.
 		st.stats.FramesIn++
 		// A packet frame's routing fields are untrusted input on the
 		// network transport: validate them before any array access.
 		if err := checkName(s.view, f.SrcName); err != nil {
-			return err
+			return false, err
 		}
 		if err := checkName(s.view, f.DstName); err != nil {
-			return err
+			return false, err
 		}
 		if f.At < 0 || int(f.At) >= s.view.Graph().N() {
-			return fmt.Errorf("cluster: packet frame at node %d outside [0,%d)", f.At, s.view.Graph().N())
+			return false, fmt.Errorf("cluster: packet frame at node %d outside [0,%d)", f.At, s.view.Graph().N())
 		}
 		h, err := st.hdec.DecodeBare(f.Header)
 		if err != nil {
-			return err
+			return false, err
 		}
 		f.Header = nil
 		var fl sim.Flight
@@ -344,34 +376,120 @@ func (s *Shard) handle(st *shardWorker, in InFrame) error {
 		} else {
 			fl = flightOf(f.Back, f.At)
 		}
-		return s.advance(st, f, h, fl)
+		return s.advance(st, f, h, fl, nil, wire.FlightState{})
 	case wire.FrameDone:
 		// A completion report passing through its home shard on the way
 		// back to the client connection that injected it.
-		return s.tr.Reply(f.Origin, in.Data)
+		return false, s.tr.Reply(f.Origin, in.Data)
 	case wire.FrameInfoReq:
 		data, err := wire.MarshalFrame(&s.info, nil)
 		if err != nil {
+			return false, err
+		}
+		return false, s.tr.Reply(in.Conn, data)
+	default:
+		return false, fmt.Errorf("cluster: shard %d received unexpected %d frame", s.view.Shard(), f.Kind)
+	}
+}
+
+// handleFlight resumes an in-flight packet from its fixed-layout frame:
+// the preamble and the scheme's waypoint scalars decode at fixed
+// offsets, the label blobs only if this shard owns the endpoint that
+// reads them, and the received bytes ride along so the next crossing
+// can ship them repatched or copy the skipped blobs verbatim.
+func (s *Shard) handleFlight(st *shardWorker, in InFrame) (bool, error) {
+	f := &st.frame
+	if err := wire.UnmarshalFlightFrame(in.Data, f); err != nil {
+		return false, err
+	}
+	st.stats.FramesIn++
+	if err := checkName(s.view, f.SrcName); err != nil {
+		return false, err
+	}
+	if err := checkName(s.view, f.DstName); err != nil {
+		return false, err
+	}
+	if f.At < 0 || int(f.At) >= s.view.Graph().N() {
+		return false, fmt.Errorf("cluster: flight frame at node %d outside [0,%d)", f.At, s.view.Graph().N())
+	}
+	h, fs, err := st.hdec.DecodeFlight(f, s.view)
+	if err != nil {
+		return false, err
+	}
+	f.Header = nil
+	var fl sim.Flight
+	if !f.Return {
+		fl = flightOf(f.Out, f.At)
+	} else {
+		fl = flightOf(f.Back, f.At)
+	}
+	return s.advance(st, f, h, fl, in.Data, fs)
+}
+
+// handleInjectBatch starts every roundtrip of a batched inject message.
+func (s *Shard) handleInjectBatch(st *shardWorker, in InFrame) error {
+	return wire.ForEachInject(in.Data, &st.frame, func(f *wire.Frame) error {
+		return s.inject(st, f, in.Conn)
+	})
+}
+
+// inject starts (or re-routes) one requested roundtrip.
+func (s *Shard) inject(st *shardWorker, f *wire.Frame, conn uint64) error {
+	// Fresh client injects are stamped with their reply route
+	// before anything else, so re-routing preserves it.
+	if f.Home == wire.HomeClient {
+		f.Home = int32(s.view.Shard())
+		f.Origin = conn
+	}
+	if err := checkName(s.view, f.SrcName); err != nil {
+		return err
+	}
+	if err := checkName(s.view, f.DstName); err != nil {
+		return err
+	}
+	src := s.view.NodeOf(f.SrcName)
+	if !s.view.Owns(src) {
+		// Header creation is the source's job: route the inject to
+		// the shard that owns the source node.
+		f.Kind = wire.FrameInject
+		data, err := wire.AppendFrame(st.outBuf(), f, nil)
+		if err != nil {
 			return err
 		}
-		return s.tr.Reply(in.Conn, data)
-	default:
-		return fmt.Errorf("cluster: shard %d received unexpected %d frame", s.view.Shard(), f.Kind)
+		return s.ship(st, s.place.Shard(src), data)
 	}
+	h := st.inject
+	var err error
+	if h == nil {
+		if h, err = s.view.NewHeader(f.SrcName, f.DstName); err != nil {
+			return err
+		}
+		st.inject = h
+	} else if err = s.view.ResetHeader(h, f.SrcName, f.DstName); err != nil {
+		return err
+	}
+	f.Return = false
+	f.Out, f.Back = wire.LegTotals{}, wire.LegTotals{}
+	_, err = s.advance(st, f, h, sim.Flight{Last: src, MaxHeaderWords: h.Words()}, nil, wire.FlightState{})
+	return err
 }
 
 // advance drives a packet as far as this shard can take it: segment by
 // segment through the roundtrip protocol — outbound leg, the flip at
 // the destination (which is local when the outbound leg delivers here),
 // return leg — until the packet either completes or crosses onto a
-// foreign node, at which point it is framed (header wire-encoded) and
-// shipped to the owner.
-func (s *Shard) advance(st *shardWorker, f *wire.Frame, h sim.Header, fl sim.Flight) error {
-	g := s.view.Graph()
+// foreign node, at which point it is shipped to the owner as a flight
+// frame. prev, when non-nil, is the flight frame the header arrived in
+// (with its decode snapshot fs): a crossing whose header kept its shape
+// ships those same bytes repatched — the zero-decode, zero-encode,
+// zero-copy crossing — and a reshaped header re-encodes, with the label
+// blobs this shard never decoded copied from prev verbatim. retained
+// reports the repatch case: prev now belongs to the transport.
+func (s *Shard) advance(st *shardWorker, f *wire.Frame, h sim.Header, fl sim.Flight, prev []byte, fs wire.FlightState) (retained bool, err error) {
 	for {
-		delivered, err := sim.FlySegment(g, s.view, h, &fl, s.opts.MaxHops, s.view.Owns)
+		delivered, err := s.seg.Fly(h, &fl)
 		if err != nil {
-			return err
+			return false, err
 		}
 		if !delivered {
 			if !f.Return {
@@ -380,25 +498,32 @@ func (s *Shard) advance(st *shardWorker, f *wire.Frame, h sim.Header, fl sim.Fli
 				f.Back = totalsOf(fl)
 			}
 			f.At = fl.Last
-			f.Kind = wire.FramePacket
-			data, err := wire.AppendFrame(st.outBuf(), f, h)
+			f.Kind = wire.FrameFlight
+			to := s.place.Shard(fl.Last)
+			st.stats.FramesOut++
+			if prev != nil && fs.CanPatch(f, h) {
+				if err := wire.RepatchFlight(prev, f, h); err != nil {
+					return false, err
+				}
+				return true, s.ship(st, to, prev)
+			}
+			data, err := wire.AppendFlightFrame(st.outBuf(), f, h, prev)
 			if err != nil {
-				return err
+				return false, err
 			}
 			if len(data) > st.sizeHint {
 				st.sizeHint = len(data) + len(data)/4
 			}
-			st.stats.FramesOut++
-			return s.ship(st, s.place.Shard(fl.Last), data)
+			return false, s.ship(st, to, data)
 		}
 		if !f.Return {
 			dst := s.view.NodeOf(f.DstName)
 			if fl.Last != dst {
-				return fmt.Errorf("cluster: outbound %d->%d delivered at wrong node %d", f.SrcName, f.DstName, fl.Last)
+				return false, fmt.Errorf("cluster: outbound %d->%d delivered at wrong node %d", f.SrcName, f.DstName, fl.Last)
 			}
 			f.Out = totalsOf(fl)
 			if err := s.view.BeginReturn(h); err != nil {
-				return err
+				return false, err
 			}
 			f.Return = true
 			fl = sim.Flight{Last: dst, MaxHeaderWords: h.Words()}
@@ -406,10 +531,10 @@ func (s *Shard) advance(st *shardWorker, f *wire.Frame, h sim.Header, fl sim.Fli
 		}
 		src := s.view.NodeOf(f.SrcName)
 		if fl.Last != src {
-			return fmt.Errorf("cluster: return %d->%d delivered at wrong node %d", f.DstName, f.SrcName, fl.Last)
+			return false, fmt.Errorf("cluster: return %d->%d delivered at wrong node %d", f.DstName, f.SrcName, fl.Last)
 		}
 		f.Back = totalsOf(fl)
-		return s.complete(st, f)
+		return false, s.complete(st, f)
 	}
 }
 
@@ -442,9 +567,9 @@ func (s *Shard) complete(st *shardWorker, f *wire.Frame) error {
 	}
 	done := wire.Frame{
 		Kind: wire.FrameDone, SrcName: f.SrcName, DstName: f.DstName,
-		Out: f.Out, Back: f.Back, Origin: f.Origin, Sampled: f.Sampled,
+		Out: f.Out, Back: f.Back, Origin: f.Origin, Rt: f.Rt, Sampled: f.Sampled,
 	}
-	data, err := wire.MarshalFrame(&done, nil)
+	data, err := wire.AppendFrame(st.outBuf(), &done, nil)
 	if err != nil {
 		return err
 	}

@@ -23,11 +23,31 @@ import (
 const maxTCPFrame = 1 << 24
 
 // tcpDialRetries * tcpDialBackoff bounds how long a shard waits for a
-// peer daemon to come up before failing the Send.
+// peer daemon to come up before failing the Send. This inline wait is
+// paid only on a link's first use (daemons start in any order); once a
+// link has been up, losing it marks the peer down and sends fail fast
+// with *PeerDownError while a background redialer repairs the link off
+// the serving path.
 const (
 	tcpDialRetries = 40
 	tcpDialBackoff = 250 * time.Millisecond
 )
+
+// PeerDownError is the typed send failure for a shard link that was up
+// and broke: the frame was not delivered, the caller should count and
+// drop (non-strict serving) or abort (strict), and the transport is
+// already redialing in the background — retrying the send inside the
+// hot path would stall every worker on one dead peer.
+type PeerDownError struct {
+	Shard int
+	Err   error
+}
+
+func (e *PeerDownError) Error() string {
+	return fmt.Sprintf("cluster: peer shard %d down: %v", e.Shard, e.Err)
+}
+
+func (e *PeerDownError) Unwrap() error { return e.Err }
 
 // TCPTransport is one shard's socket fabric.
 type TCPTransport struct {
@@ -40,15 +60,29 @@ type TCPTransport struct {
 	once   sync.Once
 
 	mu    sync.Mutex
-	peers []*tcpConn          // lazily dialed shard->shard links, by shard index
+	peers []tcpPeer           // lazily dialed shard->shard links, by shard index
 	conns map[uint64]*tcpConn // accepted connections, by reply token
 	next  uint64
 }
 
-// tcpConn serializes writes to one socket.
+// tcpPeer is one outgoing shard link's state machine: virgin (never
+// connected — the first send dials inline with backoff, since daemons
+// start in any order), up (conn != nil), or down (was up, broke — sends
+// fail fast, a single background goroutine redials).
+type tcpPeer struct {
+	conn      *tcpConn // non-nil = up
+	everUp    bool
+	redialing bool
+	lastErr   error
+}
+
+// tcpConn serializes writes to one socket. The length-prefix assembly
+// buffer is reused across writes (guarded by the same mutex), so a
+// steady frame stream allocates nothing per send.
 type tcpConn struct {
-	mu sync.Mutex
-	c  net.Conn
+	mu   sync.Mutex
+	c    net.Conn
+	wbuf []byte
 }
 
 func (p *tcpConn) writeFrame(frame []byte) error {
@@ -56,19 +90,16 @@ func (p *tcpConn) writeFrame(frame []byte) error {
 }
 
 func (p *tcpConn) writeFrames(frames []InFrame) error {
-	total := 0
-	for i := range frames {
-		total += 4 + len(frames[i].Data)
-	}
-	buf := make([]byte, 0, total)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	buf := p.wbuf[:0]
 	for i := range frames {
 		var hdr [4]byte
 		binary.BigEndian.PutUint32(hdr[:], uint32(len(frames[i].Data)))
 		buf = append(buf, hdr[:]...)
 		buf = append(buf, frames[i].Data...)
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.wbuf = buf
 	_, err := p.c.Write(buf)
 	return err
 }
@@ -111,7 +142,7 @@ func NewTCPTransport(shard int, ln net.Listener, addrs []string) *TCPTransport {
 		shard: shard, addrs: addrs, ln: ln,
 		inbox:  make(chan []InFrame, 4096),
 		closed: make(chan struct{}),
-		peers:  make([]*tcpConn, len(addrs)),
+		peers:  make([]tcpPeer, len(addrs)),
 		conns:  make(map[uint64]*tcpConn),
 	}
 	go t.acceptLoop()
@@ -168,18 +199,26 @@ func (t *TCPTransport) readLoop(tc *tcpConn, id uint64) {
 	}
 }
 
-// peer returns the lazily-dialed link to a shard, waiting with backoff
-// for daemons that have not come up yet.
+// peer returns the link to a shard. A virgin link (never connected) is
+// dialed inline, waiting with backoff for a daemon that has not come up
+// yet; a link that was up and broke fails fast with *PeerDownError and
+// leaves reconnection to the background redialer.
 func (t *TCPTransport) peer(to int) (*tcpConn, error) {
 	if to < 0 || to >= len(t.addrs) {
 		return nil, fmt.Errorf("cluster: send to unknown shard %d (cluster has %d)", to, len(t.addrs))
 	}
 	t.mu.Lock()
-	p := t.peers[to]
-	t.mu.Unlock()
-	if p != nil {
-		return p, nil
+	p := &t.peers[to]
+	if c := p.conn; c != nil {
+		t.mu.Unlock()
+		return c, nil
 	}
+	if p.everUp {
+		err := &PeerDownError{Shard: to, Err: p.lastErr}
+		t.mu.Unlock()
+		return nil, err
+	}
+	t.mu.Unlock()
 	var lastErr error
 	for i := 0; i < tcpDialRetries; i++ {
 		select {
@@ -187,30 +226,90 @@ func (t *TCPTransport) peer(to int) (*tcpConn, error) {
 			return nil, ErrClosed
 		default:
 		}
-		c, err := net.Dial("tcp", t.addrs[to])
-		if err == nil {
-			select {
-			case <-t.closed:
-				// Close ran while we were dialing; registering the conn
-				// now would leak it past Close's cleanup loop.
-				c.Close()
-				return nil, ErrClosed
-			default:
-			}
-			t.mu.Lock()
-			if t.peers[to] == nil {
-				t.peers[to] = &tcpConn{c: c}
-			} else {
-				c.Close() // another goroutine won the race
-			}
-			p = t.peers[to]
-			t.mu.Unlock()
-			return p, nil
+		if c, err := t.dialPeer(to); err == nil || err == ErrClosed {
+			return c, err
+		} else {
+			lastErr = err
 		}
-		lastErr = err
 		time.Sleep(tcpDialBackoff)
 	}
 	return nil, fmt.Errorf("cluster: shard %d unreachable at %s: %w", to, t.addrs[to], lastErr)
+}
+
+// dialPeer attempts one dial and, on success, installs the conn as the
+// link (unless another goroutine already did, or Close ran meanwhile).
+func (t *TCPTransport) dialPeer(to int) (*tcpConn, error) {
+	c, err := net.Dial("tcp", t.addrs[to])
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-t.closed:
+		// Close ran while we were dialing; registering the conn
+		// now would leak it past Close's cleanup loop.
+		c.Close()
+		return nil, ErrClosed
+	default:
+	}
+	t.mu.Lock()
+	p := &t.peers[to]
+	if p.conn == nil {
+		p.conn = &tcpConn{c: c}
+		p.everUp = true
+		p.lastErr = nil
+	} else {
+		c.Close() // another goroutine won the race
+	}
+	tc := p.conn
+	t.mu.Unlock()
+	return tc, nil
+}
+
+// markPeerDown transitions a link out of the up state after a write
+// failure. Idempotent under races via conn pointer equality: of several
+// workers failing on the same dead conn, only the first records the
+// error and starts the (single) background redialer; a worker failing
+// on a conn that has already been replaced changes nothing.
+func (t *TCPTransport) markPeerDown(to int, tc *tcpConn, err error) {
+	t.mu.Lock()
+	p := &t.peers[to]
+	if p.conn != tc {
+		t.mu.Unlock()
+		return
+	}
+	p.conn = nil
+	p.lastErr = err
+	if !p.redialing {
+		p.redialing = true
+		go t.redialPeer(to)
+	}
+	t.mu.Unlock()
+	tc.c.Close()
+}
+
+// redialPeer repairs a down link off the serving path, retrying with
+// backoff until the peer answers or the transport closes.
+func (t *TCPTransport) redialPeer(to int) {
+	defer func() {
+		t.mu.Lock()
+		t.peers[to].redialing = false
+		t.mu.Unlock()
+	}()
+	for {
+		select {
+		case <-t.closed:
+			return
+		default:
+		}
+		if _, err := t.dialPeer(to); err == nil || err == ErrClosed {
+			return
+		}
+		select {
+		case <-t.closed:
+			return
+		case <-time.After(tcpDialBackoff):
+		}
+	}
 }
 
 // Send implements Transport. A send to this shard itself loops back
@@ -237,7 +336,11 @@ func (t *TCPTransport) SendBatch(to int, frames []InFrame) error {
 	if err != nil {
 		return err
 	}
-	return p.writeFrames(frames)
+	if err := p.writeFrames(frames); err != nil {
+		t.markPeerDown(to, p, err)
+		return &PeerDownError{Shard: to, Err: err}
+	}
+	return nil
 }
 
 // Recv implements Transport.
@@ -282,9 +385,9 @@ func (t *TCPTransport) Close() error {
 		for _, tc := range t.conns {
 			tc.c.Close()
 		}
-		for _, p := range t.peers {
-			if p != nil {
-				p.c.Close()
+		for i := range t.peers {
+			if tc := t.peers[i].conn; tc != nil {
+				tc.c.Close()
 			}
 		}
 		t.mu.Unlock()

@@ -1,13 +1,96 @@
 package cluster
 
 import (
+	"errors"
 	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"rtroute/internal/sim"
 	"rtroute/internal/wire"
 )
+
+// TestTCPFlappingPeer locks the peer link state machine: a link that
+// was up and breaks must fail sends fast with *PeerDownError — not
+// block the send path in the dial-retry loop — and must recover on its
+// own once the peer is back, via the background redialer.
+func TestTCPFlappingPeer(t *testing.T) {
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{lnA.Addr().String(), lnB.Addr().String()}
+	trA := NewTCPTransport(0, lnA, addrs)
+	defer trA.Close()
+	trB := NewTCPTransport(1, lnB, addrs)
+
+	frame := []byte("ping")
+	if err := trA.Send(1, frame); err != nil {
+		t.Fatalf("send on fresh link: %v", err)
+	}
+	if got, err := trB.Recv(); err != nil || string(got[0].Data) != "ping" {
+		t.Fatalf("recv on fresh link: %v %q", err, got)
+	}
+
+	// Kill the peer. The established link keeps absorbing writes until
+	// the kernel surfaces the reset, so spin until the failure lands —
+	// it must be the typed error, and it must arrive well before the
+	// inline dial-retry budget (the old behavior blocked here for
+	// tcpDialRetries * tcpDialBackoff = 10s).
+	trB.Close()
+	var sendErr error
+	start := time.Now()
+	for time.Since(start) < 5*time.Second {
+		if sendErr = trA.Send(1, frame); sendErr != nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	var down *PeerDownError
+	if !errors.As(sendErr, &down) {
+		t.Fatalf("send to dead peer: got %v, want *PeerDownError", sendErr)
+	}
+	if down.Shard != 1 {
+		t.Fatalf("PeerDownError.Shard = %d, want 1", down.Shard)
+	}
+	failStart := time.Now()
+	if err := trA.Send(1, frame); !errors.As(err, &down) {
+		t.Fatalf("send while down: got %v, want *PeerDownError", err)
+	}
+	if d := time.Since(failStart); d > tcpDialBackoff {
+		t.Fatalf("send while down took %v; must fail fast, not redial inline", d)
+	}
+
+	// Bring the peer back on the same address. The background redialer
+	// owns recovery: keep probing with sends until one goes through.
+	lnB2, err := net.Listen("tcp", addrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	trB2 := NewTCPTransport(1, lnB2, addrs)
+	defer trB2.Close()
+	recovered := false
+	for start = time.Now(); time.Since(start) < 10*time.Second; {
+		if err := trA.Send(1, frame); err == nil {
+			recovered = true
+			break
+		} else if !errors.As(err, &down) {
+			t.Fatalf("send during recovery: got %v, want *PeerDownError", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !recovered {
+		t.Fatal("link never recovered after peer restart")
+	}
+	if got, err := trB2.Recv(); err != nil || string(got[0].Data) != "ping" {
+		t.Fatalf("recv after recovery: %v %q", err, got)
+	}
+}
 
 // TestTCPLoopback is the network smoke test: two shard daemons over
 // loopback TCP, a client dialed into shard 0, and roundtrips whose

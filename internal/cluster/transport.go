@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrClosed is returned by transport operations after Close: receivers
@@ -50,6 +51,93 @@ type Transport interface {
 	Reply(conn uint64, frame []byte) error
 	// Close shuts the transport down, unblocking all Send/Recv calls.
 	Close() error
+}
+
+// Window is the pipelining credit counter: an injector Takes credits
+// before starting roundtrips, completions Put them back, and the credit
+// total caps how many roundtrips are ever in flight — the backpressure
+// that keeps mailbox occupancy bounded (and the cluster deadlock-free
+// by counting: mailbox capacity = window size). Unlike a semaphore
+// channel, Take hands out credits in bulk, so a windowed injector pays
+// one synchronization per burst, not per roundtrip, and Put is a lone
+// atomic add on the completion path.
+//
+// Put also samples occupancy (window size minus available credits) at
+// each completion, so a run can report how full the pipeline actually
+// ran — the satellite metric distinguishing "window too small" from
+// "crossings too slow".
+type Window struct {
+	size     int64
+	avail    atomic.Int64
+	occSum   atomic.Int64
+	occCount atomic.Int64
+	// wake is a capacity-1 signal channel: a Put into an empty window
+	// leaves a token a blocked Take will find even if it was not yet
+	// parked (no missed wakeups).
+	wake chan struct{}
+}
+
+// NewWindow creates a window of n credits, all available.
+func NewWindow(n int) *Window {
+	w := &Window{size: int64(n), wake: make(chan struct{}, 1)}
+	w.avail.Store(int64(n))
+	return w
+}
+
+// Size returns the window's credit total.
+func (w *Window) Size() int { return int(w.size) }
+
+// Take acquires between 1 and max credits, blocking while the window is
+// empty. It returns 0 only when done closes first — the injector's
+// shutdown signal.
+func (w *Window) Take(max int, done <-chan struct{}) int {
+	for {
+		avail := w.avail.Load()
+		for avail > 0 {
+			take := int64(max)
+			if take > avail {
+				take = avail
+			}
+			if w.avail.CompareAndSwap(avail, avail-take) {
+				if avail > take {
+					// Credits remain: pass the signal on so another
+					// blocked taker re-checks too.
+					select {
+					case w.wake <- struct{}{}:
+					default:
+					}
+				}
+				return int(take)
+			}
+			avail = w.avail.Load()
+		}
+		select {
+		case <-w.wake:
+		case <-done:
+			return 0
+		}
+	}
+}
+
+// Put returns n credits and samples pipeline occupancy.
+func (w *Window) Put(n int) {
+	after := w.avail.Add(int64(n))
+	w.occSum.Add(w.size - after)
+	w.occCount.Add(1)
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Occupancy returns the mean number of in-flight roundtrips observed at
+// completion times (0 when nothing completed).
+func (w *Window) Occupancy() float64 {
+	n := w.occCount.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(w.occSum.Load()) / float64(n)
 }
 
 // ChanBus is the in-process transport: one bounded mailbox channel per

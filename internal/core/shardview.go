@@ -64,6 +64,17 @@ func (v *ShardView) Owns(node graph.NodeID) bool {
 	return node >= 0 && int(node) < len(v.owner) && v.owner[node] == v.shard
 }
 
+// OwnsName reports whether this shard serves the named node. Unlike
+// NodeOf it tolerates names outside the deployment — it reports false —
+// because the lazy flight-frame decoder probes it with names taken
+// straight from untrusted network input.
+func (v *ShardView) OwnsName(name int32) bool {
+	if name < 0 || int(name) >= len(v.owner) {
+		return false
+	}
+	return v.Owns(v.dep.NodeOf(name))
+}
+
 // Owner returns the shard that serves the given node.
 func (v *ShardView) Owner(node graph.NodeID) int { return int(v.owner[node]) }
 

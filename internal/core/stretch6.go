@@ -135,6 +135,17 @@ func (h *S6Header) SyncCaches() {
 	h.fetchedW = int32(h.Fetched.Words())
 }
 
+// PrimeWordCaches is SyncCaches for the lazy flight-frame decoder,
+// which may leave SrcLabel/Fetched undecoded on a forwarding shard: all
+// three word counts travel in the frame's fixed section, so the header
+// measures exactly like the fully decoded original without re-walking
+// any label structure per crossing.
+func (h *S6Header) PrimeWordCaches(legW, srcW, fetchedW int32) {
+	h.legW = legW
+	h.srcW = srcW
+	h.fetchedW = fetchedW
+}
+
 // Words implements sim.Header.
 func (h *S6Header) Words() int {
 	w := 6 + int(h.legW)

@@ -211,6 +211,65 @@ func FlySegment(g *graph.Graph, f Forwarder, h Header, fl *Flight, maxHops int, 
 	}
 }
 
+// SegmentRunner is FlySegment with the per-call setup hoisted: the port
+// table, the ownership predicate, the resolved hop budget. A cluster
+// shard drives every segment of every packet through one runner, so the
+// crossing path pays no per-segment closure construction or table
+// lookup. The runner is read-only after construction and safe for
+// concurrent use by a shard's worker pool.
+type SegmentRunner struct {
+	f       Forwarder
+	ports   graph.PortTable
+	own     func(graph.NodeID) bool
+	maxHops int
+}
+
+// NewSegmentRunner builds a runner over the caller's slice of the
+// fabric. maxHops bounds each whole leg (<= 0 selects the default 4n
+// budget). own must be safe for concurrent use.
+func NewSegmentRunner(g *graph.Graph, f Forwarder, maxHops int, own func(graph.NodeID) bool) *SegmentRunner {
+	if maxHops <= 0 {
+		maxHops = 4 * g.N()
+	}
+	return &SegmentRunner{f: f, ports: g.PortTable(), own: own, maxHops: maxHops}
+}
+
+// Fly advances one segment, with FlySegment's exact contract.
+func (r *SegmentRunner) Fly(h Header, fl *Flight) (delivered bool, err error) {
+	fixed := false
+	if fs, ok := h.(FixedSizeHeader); ok {
+		fixed = fs.FixedWords()
+	}
+	cur := fl.Last
+	for {
+		if !r.own(cur) {
+			return false, nil
+		}
+		port, delivered, err := r.f.Forward(cur, h)
+		if err != nil {
+			return false, fmt.Errorf("sim: forwarding at node %d (hop %d): %w", cur, fl.Hops, err)
+		}
+		if !fixed {
+			if w := h.Words(); w > fl.MaxHeaderWords {
+				fl.MaxHeaderWords = w
+			}
+		}
+		if delivered {
+			return true, nil
+		}
+		e, ok := r.ports.EdgeByPort(cur, port)
+		if !ok {
+			return false, fmt.Errorf("sim: node %d has no out-port %d", cur, port)
+		}
+		fl.Weight += e.Weight
+		cur = e.To
+		fl.Last = cur
+		if fl.Hops++; fl.Hops > r.maxHops {
+			return false, fmt.Errorf("sim: hop budget %d exhausted (likely routing loop) at node %d", r.maxHops, cur)
+		}
+	}
+}
+
 func tail(p []graph.NodeID, k int) []graph.NodeID {
 	if len(p) <= k {
 		return p

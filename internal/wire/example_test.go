@@ -50,6 +50,6 @@ func Example() {
 	}
 	fmt.Println("canonical re-encode:", bytes.Equal(blob, again))
 	// Output:
-	// snapshot: stretch6 over 16 nodes (format v1)
+	// snapshot: stretch6 over 16 nodes (format v2)
 	// canonical re-encode: true
 }

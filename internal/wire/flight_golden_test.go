@@ -1,0 +1,117 @@
+package wire
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// ownsAll / ownsNone are the two extreme localities for the lazy flight
+// decoder: the owning endpoint (every label decoded) and a pure transit
+// shard (endpoint labels skipped).
+type ownsAll struct{}
+
+func (ownsAll) OwnsName(int32) bool { return true }
+
+type ownsNone struct{}
+
+func (ownsNone) OwnsName(int32) bool { return false }
+
+// flightTestFrame is the fixed preamble the golden flight blobs carry.
+func flightTestFrame() *Frame {
+	return &Frame{
+		Kind: FrameFlight, SrcName: 2, DstName: 9, At: 5, Home: 1,
+		Origin: 7, Rt: 42, Sampled: true,
+		Out: LegTotals{Hops: 3, Weight: 117, MaxHeaderWords: 14},
+	}
+}
+
+// TestGoldenFlightFrames locks the flight frame's fixed layout, the
+// byte-stability the zero-decode crossing path depends on: for every
+// scheme kind, a committed blob must (a) byte-match a fresh encoding,
+// (b) survive a lazy decode at a pure transit shard and at an owning
+// shard and re-encode to the identical bytes in both cases, and (c)
+// patch in place (RepatchFlight) to exactly the bytes a full re-encode
+// would produce. Any layout change trips this test — bump Version and
+// regenerate with `go test ./internal/wire -run TestGoldenFlight -update`.
+func TestGoldenFlightFrames(t *testing.T) {
+	planes, _ := testPlanes(t, 20, 42)
+	keys := make([]string, 0, len(planes))
+	for k := range planes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, name := range keys {
+		p := planes[name]
+		t.Run(name, func(t *testing.T) {
+			h, err := p.NewHeader(2, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := flightTestFrame()
+			blob, err := AppendFlightFrame(nil, f, h, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "flight-"+name+".rtwf")
+			if *update {
+				if err := os.WriteFile(path, blob, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			if !bytes.Equal(blob, want) {
+				t.Fatalf("fresh encoding (%d bytes) differs from golden %s (%d bytes): flight layout changed without a version bump",
+					len(blob), path, len(want))
+			}
+
+			// Decode lazily at both locality extremes; re-encoding with
+			// the received frame as prev must reproduce it byte for
+			// byte — transit shards never perturb the labels they skip.
+			for _, loc := range []struct {
+				name string
+				loc  Locality
+			}{{"transit", ownsNone{}}, {"owner", ownsAll{}}} {
+				var fr Frame
+				if err := UnmarshalFlightFrame(want, &fr); err != nil {
+					t.Fatal(err)
+				}
+				var hd HeaderDecoder
+				dh, fs, err := hd.DecodeFlight(&fr, loc.loc)
+				if err != nil {
+					t.Fatalf("%s decode: %v", loc.name, err)
+				}
+				again, err := AppendFlightFrame(nil, &fr, dh, want)
+				if err != nil {
+					t.Fatalf("%s re-encode: %v", loc.name, err)
+				}
+				if !bytes.Equal(again, want) {
+					t.Fatalf("%s re-encode does not reproduce the golden bytes", loc.name)
+				}
+				// A clean crossing's in-place patch must be
+				// indistinguishable from the full re-encode.
+				if fs.CanPatch(&fr, dh) {
+					fr.At = 11
+					fr.Out.Hops += 2
+					fr.Out.Weight += 31
+					patched := append([]byte(nil), want...)
+					if err := RepatchFlight(patched, &fr, dh); err != nil {
+						t.Fatal(err)
+					}
+					full, err := AppendFlightFrame(nil, &fr, dh, want)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(patched, full) {
+						t.Fatalf("%s: RepatchFlight and AppendFlightFrame disagree", loc.name)
+					}
+				}
+			}
+		})
+	}
+}

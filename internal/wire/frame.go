@@ -36,6 +36,14 @@ const (
 	FrameInfoReq FrameKind = 4
 	// FrameInfo answers FrameInfoReq.
 	FrameInfo FrameKind = 5
+	// FrameFlight is an in-flight packet in the fixed-layout flight
+	// form (see flight.go): the forwarding shards read and patch a few
+	// fixed offsets, and only the owning endpoints pay a full varint
+	// decode. Decode with UnmarshalFlightFrame, never UnmarshalFrame.
+	FrameFlight FrameKind = 6
+	// FrameInjectBatch carries many injects as one transport message
+	// (see AppendInjectBatch / ForEachInject in flight.go).
+	FrameInjectBatch FrameKind = 7
 )
 
 // Home values of a frame: non-negative is the shard the completion
@@ -72,8 +80,13 @@ type Frame struct {
 	Out, Back LegTotals
 	// Home and Origin say where the completion report goes (see the
 	// Home* constants).
-	Home    int32
-	Origin  uint64
+	Home   int32
+	Origin uint64
+	// Rt is the injector's roundtrip tag, echoed untouched through
+	// packet frames into the completion report so a pipelined client can
+	// match out-of-order completions (Origin cannot serve: the first
+	// shard overwrites it with the connection's reply token).
+	Rt      uint64
 	Sampled bool
 	// Header is the in-flight packet's header in its frame-embedded
 	// bare form — kind byte plus body, no envelope; decode with
@@ -104,6 +117,7 @@ func AppendFrame(dst []byte, f *Frame, h sim.Header) ([]byte, error) {
 		e.legTotals(f.Back)
 		e.i(int64(f.Home))
 		e.u(f.Origin)
+		e.u(f.Rt)
 		e.b(f.Sampled)
 		if h != nil {
 			if err := e.headerBare(h); err != nil {
@@ -120,6 +134,7 @@ func AppendFrame(dst []byte, f *Frame, h sim.Header) ([]byte, error) {
 		e.i(int64(f.DstName))
 		e.i(int64(f.Home))
 		e.u(f.Origin)
+		e.u(f.Rt)
 		e.b(f.Sampled)
 	case FrameDone:
 		if h != nil {
@@ -130,6 +145,7 @@ func AppendFrame(dst []byte, f *Frame, h sim.Header) ([]byte, error) {
 		e.legTotals(f.Out)
 		e.legTotals(f.Back)
 		e.u(f.Origin)
+		e.u(f.Rt)
 		e.b(f.Sampled)
 	case FrameInfoReq:
 		if h != nil {
@@ -142,6 +158,10 @@ func AppendFrame(dst []byte, f *Frame, h sim.Header) ([]byte, error) {
 		e.byte1(byte(f.SchemeKind))
 		e.i(int64(f.Nodes))
 		e.i(int64(f.Shards))
+	case FrameFlight:
+		return nil, fmt.Errorf("wire: flight frame: encode with AppendFlightFrame")
+	case FrameInjectBatch:
+		return nil, fmt.Errorf("wire: inject batch: encode with AppendInjectBatch")
 	default:
 		return nil, fmt.Errorf("wire: unknown frame kind %d", f.Kind)
 	}
@@ -186,6 +206,9 @@ func UnmarshalFrame(data []byte, f *Frame) error {
 		if err := d.homeOrigin(f); err != nil {
 			return err
 		}
+		if f.Rt, err = d.u(); err != nil {
+			return err
+		}
 		if f.Sampled, err = d.b(); err != nil {
 			return err
 		}
@@ -199,6 +222,9 @@ func UnmarshalFrame(data []byte, f *Frame) error {
 			return err
 		}
 		if err := d.homeOrigin(f); err != nil {
+			return err
+		}
+		if f.Rt, err = d.u(); err != nil {
 			return err
 		}
 		if f.Sampled, err = d.b(); err != nil {
@@ -215,6 +241,9 @@ func UnmarshalFrame(data []byte, f *Frame) error {
 			return err
 		}
 		if f.Origin, err = d.u(); err != nil {
+			return err
+		}
+		if f.Rt, err = d.u(); err != nil {
 			return err
 		}
 		if f.Sampled, err = d.b(); err != nil {
@@ -234,6 +263,10 @@ func UnmarshalFrame(data []byte, f *Frame) error {
 		if f.Shards, err = d.i32(); err != nil {
 			return err
 		}
+	case FrameFlight:
+		return d.fail("flight frame: decode with UnmarshalFlightFrame")
+	case FrameInjectBatch:
+		return d.fail("inject batch: decode with ForEachInject")
 	default:
 		return d.fail("unknown frame kind %d", byte(f.Kind))
 	}

@@ -100,6 +100,70 @@ func FuzzUnmarshalFrame(f *testing.F) {
 	})
 }
 
+// FuzzUnmarshalFlightFrame: the fixed-layout flight frame and the
+// batched inject are parsed straight off the socket, so arbitrary bytes
+// must error cleanly at some stage — preamble, lazy section decode, or
+// re-encode — and never panic. (Byte identity is NOT a fuzz property:
+// it holds for canonical encodings and is locked by the golden tests.)
+func FuzzUnmarshalFlightFrame(f *testing.F) {
+	planes, _ := testPlanes(f, 16, 24)
+	for _, p := range planes {
+		h, err := p.NewHeader(2, 9)
+		if err != nil {
+			f.Fatal(err)
+		}
+		blob, err := AppendFlightFrame(nil, flightTestFrame(), h, nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+		f.Add(blob[:len(blob)-3])
+		f.Add(blob[:flightMinLen])
+		mut := append([]byte(nil), blob...)
+		mut[len(mut)/2] ^= 0x81
+		f.Add(mut)
+		// Corrupt the section's offset fields specifically: the lazy
+		// decoder trusts them only after validation.
+		off := append([]byte(nil), blob...)
+		off[flightOffSection+10] ^= 0xff
+		f.Add(off)
+	}
+	f.Add(AppendInjectBatch(nil, HomeClient, 3, []InjectEntry{
+		{Src: 1, Dst: 2, Rt: 9, Sampled: true}, {Src: 2, Dst: 3, Rt: 10},
+	}))
+	f.Add([]byte{})
+	f.Add([]byte("RTWF\x02\x03\x06"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if k, ok := PeekFrameKind(data); ok && k == FrameInjectBatch {
+			var fr Frame
+			_ = ForEachInject(data, &fr, func(*Frame) error { return nil })
+			return
+		}
+		var fr Frame
+		if err := UnmarshalFlightFrame(data, &fr); err != nil {
+			return
+		}
+		for _, loc := range []Locality{ownsNone{}, ownsAll{}} {
+			var hd HeaderDecoder
+			h, fs, err := hd.DecodeFlight(&fr, loc)
+			if err != nil {
+				continue
+			}
+			_ = fs.CanPatch(&fr, h)
+			// Re-encode both ways — blobs verbatim from the received
+			// frame, and from whatever the lazy decode populated. Either
+			// may reject hostile word counts; neither may panic.
+			if again, err := AppendFlightFrame(nil, &fr, h, data); err == nil {
+				var fr2 Frame
+				if err := UnmarshalFlightFrame(again, &fr2); err != nil {
+					t.Fatalf("verbatim re-encode does not re-open: %v", err)
+				}
+			}
+			_, _ = AppendFlightFrame(nil, &fr, h, nil)
+		}
+	})
+}
+
 // FuzzUnmarshalHeader: same contract for header packets.
 func FuzzUnmarshalHeader(f *testing.F) {
 	planes, _ := testPlanes(f, 16, 22)

@@ -8,8 +8,8 @@
 // Every blob starts with a fixed envelope:
 //
 //	offset 0: magic "RTWF" (4 bytes)
-//	offset 4: format version (uvarint, currently 1)
-//	then:     blob type (1 byte: 1 = scheme, 2 = header)
+//	offset 4: format version (uvarint, currently 2)
+//	then:     blob type (1 byte: 1 = scheme, 2 = header, 3 = frame)
 //	then:     scheme kind (1 byte, core.Kind)
 //
 // All integers are varint-encoded (unsigned counts as uvarint, signed
@@ -46,8 +46,10 @@ import (
 	"rtroute/internal/tree"
 )
 
-// Version is the current wire-format version.
-const Version = 1
+// Version is the current wire-format version. Version 2 added the
+// roundtrip tag to packet/inject/done frames and the fixed-layout
+// flight-frame and inject-batch kinds.
+const Version = 2
 
 // magic opens every blob.
 var magic = [4]byte{'R', 'T', 'W', 'F'}
@@ -256,9 +258,15 @@ func (d *decoder) done() error {
 // that would otherwise grow with log n collapse to a byte or two.
 func (e *encoder) treeLabel(l tree.Label) {
 	e.i(int64(l.Tin))
-	e.u(uint64(len(l.Light)))
+	e.lightHops(l.Light)
+}
+
+// lightHops is the root-path blob shared by treeLabel and the flight
+// frame's fixed sections (which hoist Tin into their fixed fields).
+func (e *encoder) lightHops(light []tree.LightHop) {
+	e.u(uint64(len(light)))
 	prev := int64(0)
-	for i, h := range l.Light {
+	for i, h := range light {
 		if i == 0 {
 			e.i(int64(h.BranchTin))
 		} else {
@@ -276,36 +284,45 @@ func (d *decoder) treeLabel() (tree.Label, error) {
 		return l, err
 	}
 	l.Tin = tin
-	c, err := d.count(2)
-	if err != nil {
+	if l.Light, err = d.lightHops(); err != nil {
 		return l, err
 	}
-	if c > 0 {
-		if d.hd != nil {
-			l.Light = d.hd.light.take(c)
-		} else {
-			l.Light = make([]tree.LightHop, c)
+	return l, nil
+}
+
+func (d *decoder) lightHops() ([]tree.LightHop, error) {
+	c, err := d.count(2)
+	if err != nil {
+		return nil, err
+	}
+	if c == 0 {
+		return nil, nil
+	}
+	var light []tree.LightHop
+	if d.hd != nil {
+		light = d.hd.light.take(c)
+	} else {
+		light = make([]tree.LightHop, c)
+	}
+	prev := int64(0)
+	for i := range light {
+		dv, err := d.i()
+		if err != nil {
+			return nil, err
 		}
-		prev := int64(0)
-		for i := range l.Light {
-			dv, err := d.i()
-			if err != nil {
-				return l, err
-			}
-			if i > 0 {
-				dv += prev
-			}
-			if dv < math.MinInt32 || dv > math.MaxInt32 {
-				return l, d.fail("branch tin %d outside int32", dv)
-			}
-			l.Light[i].BranchTin = int32(dv)
-			prev = dv
-			if l.Light[i].Port, err = d.i32(); err != nil {
-				return l, err
-			}
+		if i > 0 {
+			dv += prev
+		}
+		if dv < math.MinInt32 || dv > math.MaxInt32 {
+			return nil, d.fail("branch tin %d outside int32", dv)
+		}
+		light[i].BranchTin = int32(dv)
+		prev = dv
+		if light[i].Port, err = d.i32(); err != nil {
+			return nil, err
 		}
 	}
-	return l, nil
+	return light, nil
 }
 
 // treeState encodes the O(1) per-tree node state with the DFS-interval
