@@ -6,7 +6,7 @@ BENCH_PATTERN ?= Dijkstra|EdgeByPort|MetricBuild|TrafficThroughput
 COUNT ?= 5
 OUT ?= bench-new.txt
 
-.PHONY: all build test verify race short large bench bench-smoke bench-json benchcmp fmt vet lint ci traffic traffic-large cluster docs fuzz-smoke sizes
+.PHONY: all build test verify race short large bench bench-smoke bench-json benchcmp fmt vet lint ci traffic traffic-large cluster obs docs fuzz-smoke sizes
 
 all: verify
 
@@ -61,6 +61,17 @@ cluster:
 	$(GO) run -race ./cmd/rtbench -exp cluster -n 96 -packets 20000 -shards 8 -placement rtz -seed 1
 	$(GO) test -race -run 'TestClusterMatchesSequentialRun|TestClusterSurvivesReorderingAdversary|TestPipelinedTCPMatchesSequential|TestTCPLoopback|TestTCPFlappingPeer' ./internal/cluster
 
+# Observability smoke (E16): the telemetry plane end-to-end under the
+# race detector — sink-attached cluster run with the machine-produced
+# stage-timing table, then the live-plane tests (snapshot-during-run,
+# /metrics == Stats() exactness over loopback TCP, window occupancy,
+# link-health counters) and the telemetry package units.
+obs:
+	$(GO) run -race ./cmd/rtbench -exp traffic -n 96 -packets 20000 -workers 4 -workload zipf -seed 1 -timing
+	$(GO) run -race ./cmd/rtbench -exp cluster -n 96 -packets 20000 -shards 8 -placement rtz -seed 1 -timing
+	$(GO) test -race -run 'TestClusterLiveSnapshot|TestTCPMetricsEndpoint|TestWindow|TestTCPFlappingPeer' ./internal/cluster
+	$(GO) test -race ./internal/telemetry
+
 # Docs gate: README/DESIGN Go fences must parse (gofmt-clean when
 # written as complete files) and relative links must resolve.
 docs:
@@ -77,7 +88,7 @@ bench-smoke:
 # Canonical perf suite -> committed trajectory artifact (E13). Bump the
 # output name per PR: BENCH_PR3.json, BENCH_PR4.json, ...
 bench-json:
-	$(GO) run ./cmd/rtbench -exp bench -json -out BENCH_PR6.json
+	$(GO) run ./cmd/rtbench -exp bench -json -out BENCH_PR7.json
 
 # Before/after comparisons: run `make benchcmp OUT=old.txt` on the old
 # commit, again with OUT=new.txt on the new one, then
@@ -95,4 +106,4 @@ vet:
 
 lint: fmt vet
 
-ci: lint build race traffic cluster docs bench-smoke fuzz-smoke
+ci: lint build race traffic cluster obs docs bench-smoke fuzz-smoke

@@ -441,3 +441,9 @@ func BenchmarkDeploymentForward(b *testing.B) { benchsuite.BenchDeploymentForwar
 // boundary-crossing hop wire-encoded (internal/benchsuite: identical
 // body serves `rtbench -exp bench`).
 func BenchmarkClusterThroughput(b *testing.B) { benchsuite.BenchClusterThroughput(b) }
+
+// BenchmarkClusterTelemetry is the identical run with the telemetry
+// plane attached at rtserve defaults — measured against the row above,
+// it is the observability overhead (E16 acceptance: within a few
+// percent).
+func BenchmarkClusterTelemetry(b *testing.B) { benchsuite.BenchClusterTelemetry(b) }

@@ -1,8 +1,11 @@
 package rtroute
 
 import (
+	"net/http"
+
 	"rtroute/internal/cluster"
 	"rtroute/internal/core"
+	"rtroute/internal/telemetry"
 	"rtroute/internal/wire"
 )
 
@@ -64,6 +67,51 @@ func (s *System) ServeCluster(sch Scheme, cfg ClusterConfig) (*ClusterResult, er
 // FormatCluster renders a cluster result as the E15 sharded-serving
 // report.
 func FormatCluster(r *ClusterResult) string { return r.Format() }
+
+// Telemetry re-exports (experiment E16): the observability plane both
+// serving engines and the daemons thread their counters, sampled stage
+// timings, heat sketches and hop traces through. Attach a sink via
+// TrafficConfig.Sink / ClusterConfig.Sink (their SinkShape methods
+// produce the matching TelemetryConfig) and read it back with
+// Snapshot, the stage table, or the HTTP surface.
+type (
+	// TelemetryConfig sizes a telemetry sink (probe shape, sampling
+	// strides, trace ring, heat sketch).
+	TelemetryConfig = telemetry.Config
+	// TelemetrySink owns the probes of one instrumented run; nil turns
+	// the plane off everywhere.
+	TelemetrySink = telemetry.Sink
+	// TelemetrySnapshot is one merged, diffable point-in-time reading.
+	TelemetrySnapshot = telemetry.Snapshot
+	// TelemetryStageRow is one row of the measured per-stage cost table.
+	TelemetryStageRow = telemetry.StageRow
+	// TelemetryEvent is one recorded flight-recorder hop event.
+	TelemetryEvent = telemetry.Event
+)
+
+// NewTelemetrySink creates a sink for the given probe shape.
+func NewTelemetrySink(cfg TelemetryConfig) *TelemetrySink { return telemetry.New(cfg) }
+
+// FormatStageTable renders a measured stage-cost table; a non-zero
+// wallNsPerRT adds the coverage line (stage sum over measured wall).
+func FormatStageTable(rows []TelemetryStageRow, wallNsPerRT float64) string {
+	return telemetry.FormatStageTable(rows, wallNsPerRT)
+}
+
+// TelemetryBusySum sums the non-wait stage rows' per-roundtrip cost.
+func TelemetryBusySum(rows []TelemetryStageRow) float64 { return telemetry.BusySum(rows) }
+
+// ServeTelemetry serves a sink's /metrics, /trace and /debug/pprof on
+// addr, returning the server and its bound address.
+func ServeTelemetry(addr string, s *TelemetrySink, extra func() map[string]any) (*http.Server, string, error) {
+	return telemetry.Serve(addr, s, extra)
+}
+
+// FormatTraceTimeline renders recorded flight-recorder events as a
+// human-readable hop timeline.
+func FormatTraceTimeline(events []TelemetryEvent) string {
+	return telemetry.FormatTimeline(events)
+}
 
 // SnapshotInfo is a scheme snapshot's cheap preamble: format version,
 // scheme kind and node count, readable without decoding any table.

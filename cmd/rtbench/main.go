@@ -41,7 +41,7 @@ func main() {
 		cache  = flag.Int("lazy-cache", 0, "lazy oracle row-cache budget (0 = default)")
 	)
 	flag.BoolVar(&benchJSON, "json", false, "bench: also write the report as JSON")
-	flag.StringVar(&benchOut, "out", "BENCH_PR6.json", "bench: JSON output path (with -json)")
+	flag.StringVar(&benchOut, "out", "BENCH_PR7.json", "bench: JSON output path (with -json)")
 	flag.IntVar(&trafficWorkers, "workers", 0, "traffic: serving goroutines (0 = GOMAXPROCS)")
 	flag.StringVar(&trafficWorkload, "workload", "zipf", "traffic: pair distribution: uniform|zipf|hotspot|rpc")
 	flag.Float64Var(&trafficZipf, "zipf", 0.9, "traffic: zipf skew theta in [0,1)")
@@ -50,6 +50,8 @@ func main() {
 	flag.IntVar(&clusterShards, "shards", 8, "cluster: number of serving shards")
 	flag.StringVar(&clusterPlacement, "placement", "contiguous", "cluster: node partition: contiguous|hash|rtz")
 	flag.IntVar(&clusterInFlight, "inflight", 0, "cluster: concurrent roundtrip window (0 = default)")
+	flag.BoolVar(&servingTiming, "timing", false, "traffic/cluster: attach a telemetry sink and print the measured per-stage cost table")
+	flag.StringVar(&servingHTTP, "http", "", "traffic/cluster: serve live /metrics and /debug/pprof on this address during the run")
 	flag.Parse()
 	metricKind = rtroute.MetricKind(*metric)
 	lazyCacheRows = *cache
@@ -82,6 +84,10 @@ var (
 	clusterShards    int
 	clusterPlacement string
 	clusterInFlight  int
+
+	// serving telemetry knobs (-exp traffic and -exp cluster).
+	servingTiming bool
+	servingHTTP   string
 
 	// -exp bench knobs.
 	benchJSON bool
@@ -179,6 +185,39 @@ func buildServingScheme(sys *rtroute.System, seed int64) (rtroute.Scheme, error)
 	return sys.Build(kind, rtroute.WithSeed(seed), rtroute.WithK(2))
 }
 
+// attachSink builds the serving experiments' telemetry sink when
+// -timing or -http asks for one (nil otherwise — the plane off switch)
+// and starts the live HTTP surface when -http is set. The returned
+// stop func shuts the HTTP server down.
+func attachSink(shape rtroute.TelemetryConfig) (*rtroute.TelemetrySink, func(), error) {
+	if !servingTiming && servingHTTP == "" {
+		return nil, func() {}, nil
+	}
+	sink := rtroute.NewTelemetrySink(shape)
+	if servingHTTP == "" {
+		return sink, func() {}, nil
+	}
+	srv, bound, err := rtroute.ServeTelemetry(servingHTTP, sink, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Printf("telemetry on http://%s/metrics\n\n", bound)
+	return sink, func() { srv.Close() }, nil
+}
+
+// printTiming renders the machine-measured per-stage cost table that
+// replaces the DESIGN "Serving numbers" hand arithmetic: sampled stage
+// laps scaled up by batch counts, compared against measured wall ns/rt.
+func printTiming(sink *rtroute.TelemetrySink, packets int64, elapsedNs int64) {
+	if sink == nil || !servingTiming {
+		return
+	}
+	rows := sink.Snapshot().StageTable(packets)
+	wall := float64(elapsedNs) / float64(packets)
+	fmt.Printf("\nmeasured stage timing (sampled batches, scaled to per-roundtrip)\n%s",
+		rtroute.FormatStageTable(rows, wall))
+}
+
 func runTraffic(n int, seed int64) error {
 	fmt.Printf("# E12/S3 — concurrent routed-traffic serving (n=%d, seed=%d, scheme=%s, workload=%s, metric=%s)\n\n",
 		n, seed, trafficScheme, trafficWorkload, metricKind)
@@ -192,7 +231,7 @@ func runTraffic(n int, seed int64) error {
 	if err != nil {
 		return err
 	}
-	res, err := sys.ServeTraffic(plane, rtroute.TrafficConfig{
+	cfg := rtroute.TrafficConfig{
 		Workers: trafficWorkers,
 		Packets: trafficPackets,
 		Seed:    seed,
@@ -200,11 +239,19 @@ func runTraffic(n int, seed int64) error {
 			Kind:      rtroute.WorkloadKind(trafficWorkload),
 			ZipfTheta: trafficZipf,
 		},
-	})
+	}
+	sink, stop, err := attachSink(cfg.SinkShape())
+	if err != nil {
+		return err
+	}
+	defer stop()
+	cfg.Sink = sink
+	res, err := sys.ServeTraffic(plane, cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Print(rtroute.FormatTraffic(res))
+	printTiming(sink, res.Packets, res.Elapsed.Nanoseconds())
 	fmt.Println("\nstretch is measured over true roundtrip distances; skewed workloads reuse hot oracle rows")
 	return nil
 }
@@ -226,7 +273,7 @@ func runCluster(n int, seed int64) error {
 	if err != nil {
 		return err
 	}
-	res, err := sys.ServeCluster(sch, rtroute.ClusterConfig{
+	cfg := rtroute.ClusterConfig{
 		Shards:    clusterShards,
 		Workers:   trafficWorkers,
 		Placement: rtroute.PlacementPolicy(clusterPlacement),
@@ -238,11 +285,19 @@ func runCluster(n int, seed int64) error {
 		},
 		SampleEvery: 101,
 		InFlight:    clusterInFlight,
-	})
+	}
+	sink, stop, err := attachSink(cfg.SinkShape())
+	if err != nil {
+		return err
+	}
+	defer stop()
+	cfg.Sink = sink
+	res, err := sys.ServeCluster(sch, cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Print(rtroute.FormatCluster(res))
+	printTiming(sink, res.Packets, res.Elapsed.Nanoseconds())
 	fmt.Println("\npackets cross shard boundaries as wire-encoded frames; see DESIGN.md \"Cluster serving\"")
 	return nil
 }

@@ -16,13 +16,23 @@
 //	rtroute -connect 127.0.0.1:7070 -src 3 -dst 17
 //	rtroute -connect 127.0.0.1:7070 -pairs 100 -seed 2
 //	rtroute -connect 127.0.0.1:7070 -pairs 10000 -window 256
+//
+// When the daemons run with -http and -trace-every, -trace fetches the
+// routed roundtrip's recorded hop events back from their telemetry
+// surfaces and prints a per-daemon timeline:
+//
+//	rtroute -connect 127.0.0.1:7070 -src 3 -dst 17 \
+//	        -trace 127.0.0.1:8070,127.0.0.1:8071
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -53,6 +63,7 @@ func main() {
 		connect = flag.String("connect", "", "route through a running rtserve cluster at this shard address instead of a local scheme")
 		pairs   = flag.Int("pairs", 0, "with -connect: route this many random pairs and summarize (0 = the single -src/-dst pair)")
 		window  = flag.Int("window", 1, "with -connect -pairs: keep this many roundtrips in flight (pipelined, out-of-order completion)")
+		trace   = flag.String("trace", "", "with -connect: comma-separated daemon telemetry addresses (rtserve -http) to fetch the roundtrip's recorded hop trace from")
 	)
 	flag.Parse()
 
@@ -64,7 +75,7 @@ func main() {
 		return
 	}
 	if *connect != "" {
-		if err := runConnect(*connect, int32(*src), int32(*dst), *pairs, *window, *seed); err != nil {
+		if err := runConnect(*connect, int32(*src), int32(*dst), *pairs, *window, *seed, *trace); err != nil {
 			fmt.Fprintln(os.Stderr, "rtroute:", err)
 			os.Exit(1)
 		}
@@ -104,7 +115,7 @@ func runSizes(nsSpec string, seed int64) error {
 // runConnect is the network-client mode: roundtrips are injected into a
 // running rtserve shard cluster and certified totals come back as Done
 // frames — no scheme is built or loaded locally.
-func runConnect(addr string, src, dst int32, pairs, window int, seed int64) error {
+func runConnect(addr string, src, dst int32, pairs, window int, seed int64, trace string) error {
 	cl, err := cluster.DialClient(addr)
 	if err != nil {
 		return err
@@ -127,6 +138,9 @@ func runConnect(addr string, src, dst int32, pairs, window int, seed int64) erro
 		fmt.Printf("  routed weight:  %d (out %d + back %d)\n", out.Weight+back.Weight, out.Weight, back.Weight)
 		fmt.Printf("  hops:           %d (out %d + back %d)\n", out.Hops+back.Hops, out.Hops, back.Hops)
 		fmt.Printf("  max header:     %d words\n", max(out.MaxHeaderWords, back.MaxHeaderWords))
+		if trace != "" {
+			return fetchTrace(trace)
+		}
 		return nil
 	}
 	if n < 2 {
@@ -158,6 +172,46 @@ func runConnect(addr string, src, dst int32, pairs, window int, seed int64) erro
 		fmt.Printf("%.0f roundtrips/s (window %d in flight)\n", float64(pairs)/elapsed.Seconds(), window)
 	} else {
 		fmt.Printf("%.0f roundtrips/s (single synchronous client)\n", float64(pairs)/elapsed.Seconds())
+	}
+	if trace != "" {
+		return fetchTrace(trace)
+	}
+	return nil
+}
+
+// fetchTrace pulls roundtrip tag 1's recorded hop events back from each
+// daemon's telemetry surface (rtserve -http) and prints one timeline
+// per daemon. Timestamps are on each daemon's own sink clock, so the
+// timelines are not merged — each section's offsets are internally
+// exact, and the hop counts line the legs up across daemons.
+func fetchTrace(spec string) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	for _, raw := range strings.Split(spec, ",") {
+		u := strings.TrimSpace(raw)
+		if u == "" {
+			continue
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		resp, err := client.Get(u + "/trace?rt=1")
+		if err != nil {
+			return fmt.Errorf("fetching trace from %s: %w", u, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("reading trace from %s: %w", u, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s/trace: %s: %s", u, resp.Status, strings.TrimSpace(string(body)))
+		}
+		var events []rtroute.TelemetryEvent
+		if err := json.Unmarshal(body, &events); err != nil {
+			return fmt.Errorf("decoding trace from %s: %w", u, err)
+		}
+		fmt.Printf("\nhop trace from %s (%d events, daemon-local clock):\n", u, len(events))
+		fmt.Print(rtroute.FormatTraceTimeline(events))
 	}
 	return nil
 }

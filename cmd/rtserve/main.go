@@ -22,8 +22,18 @@
 // sends fast (the shard counts and drops) while the link redials in the
 // background; it recovers when the daemon returns.
 //
-// Stop a daemon with SIGINT/SIGTERM; it prints its serving stats on the
-// way down.
+// Every daemon carries a telemetry sink; -http exposes it:
+//
+//	rtserve ... -http 127.0.0.1:8070 -trace-every 64 &
+//	curl 127.0.0.1:8070/metrics                    # live counters, JSON
+//	curl 127.0.0.1:8070/metrics?format=prometheus  # same, scrape format
+//	curl 127.0.0.1:8070/trace?rt=1                 # recorded hop events
+//	go tool pprof 127.0.0.1:8070/debug/pprof/profile
+//
+// Stop a daemon with SIGINT/SIGTERM: it stops accepting new
+// connections, drains in-flight roundtrips until its counters go quiet
+// (bounded by -drain), then closes and prints its final stats snapshot.
+// A second signal skips the drain.
 package main
 
 import (
@@ -33,8 +43,10 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"rtroute/internal/cluster"
+	"rtroute/internal/telemetry"
 	"rtroute/internal/wire"
 )
 
@@ -46,15 +58,21 @@ func main() {
 		placement = flag.String("placement", "contiguous", "node partition: contiguous|hash|rtz")
 		workers   = flag.Int("workers", 1, "serving goroutines for this shard")
 		batch     = flag.Int("batch", 64, "mailbox dequeue batch size")
+		httpAddr  = flag.String("http", "", "serve /metrics, /trace and /debug/pprof on this address (empty = off)")
+		traceEach = flag.Int("trace-every", 0, "record hop traces for roundtrip tags rt with rt%N==1 (0 = off)")
+		sample    = flag.Int("sample-every", 16, "sample stage timing on every k-th mailbox batch (<0 = off)")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain bound")
 	)
 	flag.Parse()
-	if err := run(*shard, *addrsSpec, *load, *placement, *workers, *batch); err != nil {
+	if err := run(*shard, *addrsSpec, *load, *placement, *workers, *batch,
+		*httpAddr, *traceEach, *sample, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "rtserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(shard int, addrsSpec, load, placement string, workers, batch int) error {
+func run(shard int, addrsSpec, load, placement string, workers, batch int,
+	httpAddr string, traceEvery, sampleEvery int, drain time.Duration) error {
 	if load == "" {
 		return fmt.Errorf("-load is required (snapshot from rtroute -save)")
 	}
@@ -91,19 +109,83 @@ func run(shard int, addrsSpec, load, placement string, workers, batch int) error
 	if err != nil {
 		return err
 	}
-	sh := cluster.NewShard(view, place, tr, cluster.Options{Workers: workers, Batch: batch})
+
+	// The sink is always attached — its idle cost is one predicate per
+	// frame and one struct copy per batch — so /metrics can be consulted
+	// (and the final snapshot printed) whether or not -http is set.
+	sink := telemetry.New(telemetry.Config{
+		Shards: []int{shard}, Workers: workers,
+		SampleEvery: sampleEvery, TraceEvery: traceEvery,
+	})
+	sink.RegisterGauge("peer_downs", func() float64 { d, _ := tr.LinkStats(); return float64(d) })
+	sink.RegisterGauge("link_redials", func() float64 { _, r := tr.LinkStats(); return float64(r) })
+
+	sh := cluster.NewShard(view, place, tr, cluster.Options{
+		Workers: workers, Batch: batch, Sink: sink, SinkShard: 0,
+	})
 	fmt.Printf("shard %d/%d serving %d of %d nodes (%s placement) on %s with %d workers\n",
 		shard, len(addrs), view.NodeCount(), dep.Graph().N(), place.Policy, tr.Addr(), workers)
 
-	sigc := make(chan os.Signal, 1)
+	if httpAddr != "" {
+		extra := func() map[string]any {
+			return map[string]any{
+				"shard": shard, "shards": len(addrs), "addr": tr.Addr(),
+				"scheme": dep.Kind().String(), "nodes": dep.Graph().N(),
+			}
+		}
+		srv, bound, err := telemetry.Serve(httpAddr, sink, extra)
+		if err != nil {
+			return fmt.Errorf("telemetry http: %w", err)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry on http://%s/metrics (trace-every %d, sample-every %d)\n",
+			bound, traceEvery, sampleEvery)
+	}
+
+	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sigc
-		tr.Close()
+		fmt.Printf("shard %d: draining (next signal forces exit)\n", shard)
+		tr.CloseAccept()
+		go func() { // second signal: skip the drain
+			<-sigc
+			tr.Close()
+		}()
+		drainThenClose(tr, sink, drain)
 	}()
+
 	err = sh.Serve()
 	st := sh.Stats()
 	fmt.Printf("shard %d stopped: %d roundtrips completed here, %d hops, %d frames in, %d frames out, %d errors\n",
 		st.Shard, st.Packets, st.Hops, st.FramesIn, st.FramesOut, st.Errors)
+	downs, redials := tr.LinkStats()
+	fmt.Printf("links: %d peer-down transitions, %d redial attempts; trace events dropped: %d\n",
+		downs, redials, sink.TraceDropped())
+	if rows := sink.Snapshot().StageTable(st.Packets); len(rows) > 0 {
+		fmt.Printf("\nstage timing (per completed roundtrip)\n%s", telemetry.FormatStageTable(rows, 0))
+	}
 	return err
+}
+
+// drainThenClose watches the sink's counters until they hold still for
+// two consecutive polls (the in-flight roundtrips have either completed
+// or are stuck behind a dead peer) or the bound expires, then closes
+// the transport for real.
+func drainThenClose(tr *cluster.TCPTransport, sink *telemetry.Sink, bound time.Duration) {
+	const poll = 100 * time.Millisecond
+	deadline := time.Now().Add(bound)
+	prev := sink.Snapshot().Totals
+	quiet := 0
+	for time.Now().Before(deadline) && quiet < 2 {
+		time.Sleep(poll)
+		cur := sink.Snapshot().Totals
+		if cur == prev {
+			quiet++
+		} else {
+			quiet = 0
+		}
+		prev = cur
+	}
+	tr.Close()
 }

@@ -21,6 +21,7 @@ import (
 	"rtroute/internal/core"
 	"rtroute/internal/graph"
 	"rtroute/internal/names"
+	"rtroute/internal/telemetry"
 	"rtroute/internal/traffic"
 	"rtroute/internal/wire"
 )
@@ -111,6 +112,7 @@ func suite() []entry {
 		{"traffic/stretch6-workers=1", BenchTrafficSingleWorker},
 		{"traffic/deployment-workers=1", BenchDeploymentForward},
 		{"cluster/stretch6-shards=8", BenchClusterThroughput},
+		{"cluster/stretch6-shards=8+sink", BenchClusterTelemetry},
 		{"wire/marshal-stretch6", BenchMarshalScheme},
 	}
 }
@@ -310,6 +312,19 @@ func BenchDeploymentForward(b *testing.B) {
 // and the owning shard decodes and resumes it — the E15 serving row.
 // Cross-shard frames per roundtrip is reported alongside the rates.
 func BenchClusterThroughput(b *testing.B) {
+	benchCluster(b, false)
+}
+
+// BenchClusterTelemetry is the same run with the telemetry plane
+// attached at rtserve defaults (sampled stage timing, heat sketches,
+// flight recorder armed): the pair of rows is the observability
+// overhead measurement — the PR 7 acceptance bar keeps them within a
+// few percent of each other.
+func BenchClusterTelemetry(b *testing.B) {
+	benchCluster(b, true)
+}
+
+func benchCluster(b *testing.B, sink bool) {
 	blob, err := wire.MarshalScheme(benchStretchSix(b))
 	if err != nil {
 		b.Fatal(err)
@@ -318,19 +333,25 @@ func BenchClusterThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	// Collect the build-time garbage (scheme construction, all-pairs
-	// distances) before timing: leftover heap from earlier runs in the
-	// same process otherwise inflates GC pressure for later ones.
-	runtime.GC()
-	b.ResetTimer()
-	res, err := cluster.Run(dep, cluster.Config{
+	cfg := cluster.Config{
 		Shards:    8,
 		Placement: cluster.RTZAligned,
 		Packets:   int64(b.N),
 		Seed:      1,
 		InFlight:  4096,
 		Workload:  traffic.Spec{Kind: traffic.Zipf},
-	})
+	}
+	if sink {
+		shape := cfg.SinkShape()
+		shape.TraceEvery = 1024
+		cfg.Sink = telemetry.New(shape)
+	}
+	// Collect the build-time garbage (scheme construction, all-pairs
+	// distances) before timing: leftover heap from earlier runs in the
+	// same process otherwise inflates GC pressure for later ones.
+	runtime.GC()
+	b.ResetTimer()
+	res, err := cluster.Run(dep, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}

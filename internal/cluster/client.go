@@ -75,10 +75,13 @@ func (c *Client) Info() (kind core.Kind, nodes, shards int, err error) {
 }
 
 // Roundtrip routes one roundtrip srcName -> dstName -> srcName through
-// the cluster and returns both legs' totals.
+// the cluster and returns both legs' totals. The inject carries
+// roundtrip tag 1 — the tag a single in-flight roundtrip would get from
+// Roundtrips — so a daemon running with trace sampling records it in
+// the flight recorder (the predicate admits rt%every == 1).
 func (c *Client) Roundtrip(srcName, dstName int32) (out, back wire.LegTotals, err error) {
 	err = c.send(&wire.Frame{
-		Kind: wire.FrameInject, SrcName: srcName, DstName: dstName, Home: wire.HomeClient,
+		Kind: wire.FrameInject, SrcName: srcName, DstName: dstName, Home: wire.HomeClient, Rt: 1,
 	})
 	if err != nil {
 		return out, back, err

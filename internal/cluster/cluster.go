@@ -26,7 +26,6 @@ package cluster
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,6 +34,7 @@ import (
 	"rtroute/internal/eval"
 	"rtroute/internal/graph"
 	"rtroute/internal/sim"
+	"rtroute/internal/telemetry"
 	"rtroute/internal/traffic"
 	"rtroute/internal/wire"
 )
@@ -72,6 +72,13 @@ type Config struct {
 	InFlight int
 	// Batch bounds one mailbox dequeue (default 64).
 	Batch int
+	// Sink, when non-nil, attaches the telemetry plane: per-worker
+	// probes on every shard and injector, sampled stage timing, heat
+	// sketches and (when the sink's TraceEvery is set) the flight
+	// recorder — in which case injects are stamped with roundtrip
+	// tags. The sink's Config.Shards/Workers/Injectors shape must
+	// match this Config; SinkShape builds a matching one.
+	Sink *telemetry.Sink
 	// wrapEndpoint, when non-nil, wraps each shard's transport endpoint
 	// — the test hook the reordering-adversary certification uses to
 	// shuffle deliveries without a second transport implementation.
@@ -105,9 +112,14 @@ type Result struct {
 	// WindowOccupancy is the mean number of in-flight roundtrips
 	// sampled at completion times — how full the pipeline actually ran.
 	WindowOccupancy float64
-	// Mallocs counts heap allocations performed during the serving
-	// phase (all goroutines), the alloc-regression gate's numerator.
-	Mallocs uint64
+	// TrackedAllocs counts allocation events at the engine's known
+	// allocation sites — per-worker pool misses plus injector batch
+	// buffers — summed from the per-worker telemetry counters. Unlike
+	// the whole-process ReadMemStats delta this replaced, it is
+	// attributable per shard and immune to concurrent test goroutines;
+	// the build-tag alloc gate keeps a process-wide measurement as the
+	// backstop.
+	TrackedAllocs int64
 }
 
 // PacketsPerSec returns the serving rate.
@@ -143,13 +155,37 @@ func (r *Result) CrossingsPerRT() float64 {
 	return float64(r.CrossShard) / float64(r.Packets)
 }
 
-// AllocsPerRT returns the mean heap allocations per roundtrip over the
-// serving phase.
+// AllocsPerRT returns the mean tracked allocation events per roundtrip
+// over the serving phase.
 func (r *Result) AllocsPerRT() float64 {
 	if r.Packets == 0 {
 		return 0
 	}
-	return float64(r.Mallocs) / float64(r.Packets)
+	return float64(r.TrackedAllocs) / float64(r.Packets)
+}
+
+// SinkShape returns a telemetry.Config matching this run config's
+// probe shape, resolving the same defaults Run does. Callers set the
+// sampling knobs (SampleEvery, TraceEvery, HeatK...) and pass
+// telemetry.New of it as cfg.Sink.
+func (cfg Config) SinkShape() telemetry.Config {
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 8
+	}
+	injectors := cfg.Injectors
+	if injectors <= 0 {
+		injectors = shards
+	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	ids := make([]int, shards)
+	for i := range ids {
+		ids[i] = i
+	}
+	return telemetry.Config{Shards: ids, Workers: workers, Injectors: injectors}
 }
 
 // Run serves cfg.Packets roundtrips through an in-process cluster: S
@@ -200,6 +236,8 @@ func Run(dep *core.Deployment, cfg Config) (*Result, error) {
 	bus := NewChanBus(shards, inFlight)
 	remaining := cfg.Packets
 	window := NewWindow(inFlight)
+	cfg.Sink.RegisterGauge("window_size", func() float64 { return float64(window.Size()) })
+	cfg.Sink.RegisterGauge("window_occupancy", window.Occupancy)
 	onDone := func(*wire.Frame) {
 		window.Put(1)
 		if atomic.AddInt64(&remaining, -1) == 0 {
@@ -219,6 +257,7 @@ func Run(dep *core.Deployment, cfg Config) (*Result, error) {
 		ss[i] = NewShard(view, place, tr, Options{
 			Workers: cfg.Workers, Batch: cfg.Batch, MaxHops: cfg.MaxHops,
 			Strict: true, OnDone: onDone,
+			Sink: cfg.Sink, SinkShard: i,
 		})
 	}
 
@@ -235,8 +274,6 @@ func Run(dep *core.Deployment, cfg Config) (*Result, error) {
 		mu.Unlock()
 		bus.Close()
 	}
-	var msBefore, msAfter runtime.MemStats
-	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 	for _, sh := range ss {
 		wg.Add(1)
@@ -249,6 +286,10 @@ func Run(dep *core.Deployment, cfg Config) (*Result, error) {
 	}
 	quotas := traffic.SplitQuota(cfg.Packets, injectors)
 	sample := cfg.Oracle != nil
+	// Roundtrip tags cost frame bytes, so injects are tagged only when
+	// the flight recorder wants them; tag 0 means untraced everywhere.
+	tagging := cfg.Sink.Tracing()
+	injAllocs := make([]int64, injectors)
 	// Injectors run windowed: take a burst of credits, generate that
 	// many pairs, ship them grouped per owning shard as one inject-batch
 	// message each — one window rendezvous and one mailbox send per
@@ -267,24 +308,45 @@ func Run(dep *core.Deployment, cfg Config) (*Result, error) {
 			defer wg.Done()
 			gen := wl.Generator(i)
 			byOwner := make([][]wire.InjectEntry, shards)
-			for sent := int64(0); sent < quota; {
+			// The injector's probe mirrors the worker discipline: one
+			// BatchStart per burst (credit wait is its own — excluded —
+			// stage), publish after every burst.
+			ip := cfg.Sink.InjectorProbe(i)
+			allocs := &injAllocs[i]
+			var sent int64
+			if ip != nil {
+				defer func() { ip.Publish(telemetry.Counters{Injects: sent, Allocs: *allocs}) }()
+			}
+			for sent < quota {
 				want := burst
 				if rem := quota - sent; rem < int64(want) {
 					want = int(rem)
 				}
+				t := ip.BatchStart(0)
 				n := window.Take(want, bus.Done())
+				t = ip.Lap(telemetry.StageCredit, t)
 				if n == 0 {
 					return // run aborted under us
 				}
 				for k := 0; k < n; k++ {
 					src, dst := gen.Next()
 					owner := place.Shard(dep.NodeOf(src))
-					byOwner[owner] = append(byOwner[owner], wire.InjectEntry{
+					if len(byOwner[owner]) == cap(byOwner[owner]) {
+						*allocs++
+					}
+					e := wire.InjectEntry{
 						Src: src, Dst: dst,
 						Sampled: sample && (sent+int64(k))%stride == 0,
-					})
+					}
+					if tagging {
+						// Unique, never-zero tag: injector in the high bits,
+						// the injector-local sequence (starting at 1) below.
+						e.Rt = uint64(i)<<40 | uint64(sent+int64(k)+1)
+					}
+					byOwner[owner] = append(byOwner[owner], e)
 				}
 				sent += int64(n)
+				t = ip.Lap(telemetry.StageInject, t)
 				for o := range byOwner {
 					if len(byOwner[o]) == 0 {
 						continue
@@ -293,18 +355,22 @@ func Run(dep *core.Deployment, cfg Config) (*Result, error) {
 					// into its frame pool), so each batch cuts a fresh one —
 					// sized upfront, one allocation per ~burst roundtrips.
 					buf := make([]byte, 0, 32+len(byOwner[o])*21)
+					*allocs++
 					data := wire.AppendInjectBatch(buf, wire.HomeLocal, 0, byOwner[o])
 					byOwner[o] = byOwner[o][:0]
 					if err := bus.Send(o, data); err != nil {
 						return // bus closed: run aborted under us
 					}
 				}
+				ip.Lap(telemetry.StageSend, t)
+				if ip != nil {
+					ip.Publish(telemetry.Counters{Injects: sent, Allocs: *allocs})
+				}
 			}
 		}(i, quotas[i])
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	runtime.ReadMemStats(&msAfter)
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -318,7 +384,9 @@ func Run(dep *core.Deployment, cfg Config) (*Result, error) {
 		CrossEdgeFraction: place.CrossEdgeFraction(g),
 		InFlight:          inFlight,
 		WindowOccupancy:   window.Occupancy(),
-		Mallocs:           msAfter.Mallocs - msBefore.Mallocs,
+	}
+	for _, a := range injAllocs {
+		res.TrackedAllocs += a
 	}
 	var samples []traffic.Sample
 	for i, sh := range ss {
@@ -328,6 +396,7 @@ func Run(dep *core.Deployment, cfg Config) (*Result, error) {
 		res.Hops += st.Hops
 		res.Weight += st.Weight
 		res.CrossShard += st.FramesOut
+		res.TrackedAllocs += st.Allocs
 		sh.hists(&res.HopHist, &res.HdrHist, &samples)
 	}
 	if cfg.Oracle != nil {
@@ -349,7 +418,7 @@ func (r *Result) Format() string {
 		r.PacketsPerSec(), r.HopsPerSec(), r.HopHist.Mean())
 	b = appendf(b, "cross-shard %d frames  ratio %.3f of hops  (static cross-edge fraction %.3f)\n",
 		r.CrossShard, r.CrossShardRatio(), r.CrossEdgeFraction)
-	b = appendf(b, "pipeline window %d  mean occupancy %.1f  crossings/rt %.2f  allocs/rt %.3f\n",
+	b = appendf(b, "pipeline window %d  mean occupancy %.1f  crossings/rt %.2f  tracked-allocs/rt %.3f\n",
 		r.InFlight, r.WindowOccupancy, r.CrossingsPerRT(), r.AllocsPerRT())
 	if r.Sampled > 0 {
 		b = appendf(b, "stretch (over %d sampled packets): p50 %.3f  p95 %.3f  p99 %.3f  max %.3f  mean %.3f\n",
@@ -357,10 +426,10 @@ func (r *Result) Format() string {
 	}
 	b = appendf(b, "\nroundtrip hops\n%s", r.HopHist.Format("hops"))
 	b = appendf(b, "\npeak header words\n%s", r.HdrHist.Format("words"))
-	b = appendf(b, "\n%-6s %6s %10s %12s %10s %10s %8s\n", "shard", "nodes", "packets", "hops", "frames-in", "frames-out", "errors")
+	b = appendf(b, "\n%-6s %6s %10s %12s %10s %10s %8s %8s\n", "shard", "nodes", "packets", "hops", "frames-in", "frames-out", "errors", "allocs")
 	for _, st := range r.PerShard {
-		b = appendf(b, "%-6d %6d %10d %12d %10d %10d %8d\n",
-			st.Shard, st.Nodes, st.Packets, st.Hops, st.FramesIn, st.FramesOut, st.Errors)
+		b = appendf(b, "%-6d %6d %10d %12d %10d %10d %8d %8d\n",
+			st.Shard, st.Nodes, st.Packets, st.Hops, st.FramesIn, st.FramesOut, st.Errors, st.Allocs)
 	}
 	return string(b)
 }

@@ -9,6 +9,7 @@ import (
 	"rtroute/internal/eval"
 	"rtroute/internal/graph"
 	"rtroute/internal/sim"
+	"rtroute/internal/telemetry"
 	"rtroute/internal/traffic"
 	"rtroute/internal/wire"
 )
@@ -33,6 +34,13 @@ type ShardStats struct {
 	// Errors counts malformed or undeliverable frames dropped in
 	// non-strict (daemon) mode.
 	Errors int64
+	// Allocs counts tracked allocation events at the worker's known
+	// allocation sites — buffer-pool misses, slab-pool misses, sample
+	// growth, the once-per-worker inject header. Per-worker and
+	// attributable, unlike a whole-process ReadMemStats delta; the
+	// build-tag alloc gate keeps a process-wide measurement as the
+	// backstop for sites this ledger does not know about.
+	Allocs int64
 }
 
 // shardWorker is one worker goroutine's private state: counters,
@@ -65,6 +73,31 @@ type shardWorker struct {
 	// slabs recycles received batch slices as pending accumulations, so
 	// ship() grows no fresh slice per flushed batch.
 	slabs [][]InFrame
+	// p is the worker's telemetry probe (nil = telemetry off; every
+	// probe method is a nil-receiver no-op).
+	p *telemetry.Probe
+	// hook records per-hop trace events for roundtrips armed by the
+	// trace sampler; trRt/trRet carry the roundtrip tag and leg into
+	// the hook without a per-hop closure allocation.
+	hook  sim.HopHook
+	trRt  uint64
+	trRet bool
+	// worker is this worker's index, the trace events' tid.
+	worker int
+}
+
+// publish hands the probe a copy of the worker's counters at a batch
+// boundary — the reader-visible state /metrics and Snapshot merge, by
+// construction field-for-field identical to the end-of-run ShardStats.
+func (st *shardWorker) publish() {
+	if st.p == nil {
+		return
+	}
+	st.p.Publish(telemetry.Counters{
+		Packets: st.stats.Packets, Hops: st.stats.Hops, Weight: st.stats.Weight,
+		FramesIn: st.stats.FramesIn, FramesOut: st.stats.FramesOut,
+		Errors: st.stats.Errors, Allocs: st.stats.Allocs,
+	})
 }
 
 // slab pops a recycled batch slice for a pending accumulation, or cuts
@@ -76,6 +109,7 @@ func (st *shardWorker) slab(batch int) []InFrame {
 		st.slabs = st.slabs[:n-1]
 		return s
 	}
+	st.stats.Allocs++
 	return make([]InFrame, 0, batch)
 }
 
@@ -105,6 +139,7 @@ func (st *shardWorker) outBuf() []byte {
 		// come straight back to the list to repeat the miss. Drop it;
 		// the pool converges to right-sized buffers.
 	}
+	st.stats.Allocs++
 	return make([]byte, 0, st.sizeHint)
 }
 
@@ -134,6 +169,12 @@ type Options struct {
 	// OnDone, when non-nil, observes every roundtrip completed with
 	// Home == HomeLocal (the in-process engine's completion hook).
 	OnDone func(*wire.Frame)
+	// Sink, when non-nil, attaches the telemetry plane; SinkShard is
+	// this shard's row in the sink's Config.Shards (the in-process
+	// engine passes the shard index, a daemon passes 0 for its
+	// single-shard sink).
+	Sink      *telemetry.Sink
+	SinkShard int
 }
 
 // Shard is one serving process of a cluster: the ShardView holding its
@@ -193,6 +234,7 @@ func (s *Shard) Stats() ShardStats {
 		out.FramesIn += w.FramesIn
 		out.FramesOut += w.FramesOut
 		out.Errors += w.Errors
+		out.Allocs += w.Allocs
 	}
 	return out
 }
@@ -227,10 +269,27 @@ func (s *Shard) Serve() error {
 // worker is one mailbox pump: block for a batch, handle each frame,
 // then flush everything the batch emitted — one transport message per
 // destination shard, the send-side half of the batching discipline.
+//
+// Telemetry rides the same rhythm: each Recv opens a batch on the
+// worker's probe (counting it, charging the blocked time to
+// recv-wait, and — on sampled batches — arming the Lap chain t that
+// threads through every handle and the final flush), and each batch
+// closes with a counter publish. An unsampled batch carries t == 0
+// and every Lap passes it through for free.
 func (s *Shard) worker(w int) error {
 	st := &s.workers[w]
+	st.worker = w
 	st.pending = make([][]InFrame, s.place.Shards)
+	st.p = s.opts.Sink.Probe(s.opts.SinkShard, w)
+	if st.p != nil {
+		shard := s.view.Shard()
+		st.hook = func(at graph.NodeID, hops int, weight graph.Dist) {
+			st.p.Record(telemetry.EvHop, st.trRt, shard, st.worker, int32(at), -1, int32(hops), st.trRet)
+		}
+		defer st.publish()
+	}
 	for {
+		wait0 := st.p.Now()
 		frames, err := s.tr.Recv()
 		if err != nil {
 			if errors.Is(err, ErrClosed) {
@@ -238,13 +297,15 @@ func (s *Shard) worker(w int) error {
 			}
 			return err
 		}
+		t := st.p.BatchStart(wait0)
 		// Drain everything immediately available before flushing, so the
 		// outbound accumulations grow to the queued work instead of
 		// collapsing to singleton batches.
 		processed := 0
 		for {
 			for i := range frames {
-				retained, err := s.handle(st, frames[i])
+				var retained bool
+				retained, t, err = s.handle(st, frames[i], t)
 				if err != nil {
 					if s.opts.Strict {
 						return err
@@ -279,19 +340,22 @@ func (s *Shard) worker(w int) error {
 			}
 			st.stats.Errors++
 		}
-		if err := s.flush(st); err != nil {
+		if _, err := s.flush(st, t); err != nil {
 			if s.opts.Strict && !errors.Is(err, ErrClosed) {
 				return err
 			}
 		}
+		st.publish()
 	}
 }
 
 // ship queues one outbound frame, early-flushing a destination that
-// reaches the batch bound.
-func (s *Shard) ship(st *shardWorker, to int, data []byte) error {
+// reaches the batch bound. t threads the sampled-batch Lap chain so
+// an early flush's send rendezvous lands in the send stage, not in
+// whatever stage surrounds the caller.
+func (s *Shard) ship(st *shardWorker, to int, data []byte, t int64) (int64, error) {
 	if to < 0 || to >= len(st.pending) {
-		return fmt.Errorf("cluster: frame addressed to unknown shard %d", to)
+		return t, fmt.Errorf("cluster: frame addressed to unknown shard %d", to)
 	}
 	if st.pending[to] == nil {
 		st.pending[to] = st.slab(s.opts.Batch)
@@ -300,16 +364,17 @@ func (s *Shard) ship(st *shardWorker, to int, data []byte) error {
 	if len(st.pending[to]) >= s.opts.Batch {
 		frames := st.pending[to]
 		st.pending[to] = nil
-		return s.tr.SendBatch(to, frames)
+		err := s.tr.SendBatch(to, frames)
+		return st.p.Lap(telemetry.StageSend, t), err
 	}
-	return nil
+	return t, nil
 }
 
 // flush ships every destination's accumulated frames. Every frame of a
 // batch a transport refuses is counted as dropped — each is a live
 // roundtrip — so a daemon with a dead peer shows the loss in its
 // errors column instead of reporting a healthy shard.
-func (s *Shard) flush(st *shardWorker) error {
+func (s *Shard) flush(st *shardWorker, t int64) (int64, error) {
 	var firstErr error
 	for to, frames := range st.pending {
 		if len(frames) == 0 {
@@ -322,14 +387,17 @@ func (s *Shard) flush(st *shardWorker) error {
 				firstErr = err
 			}
 		}
+		t = st.p.Lap(telemetry.StageSend, t)
 	}
-	return firstErr
+	return t, firstErr
 }
 
 // handle processes one received frame. retained reports that the
 // inbound buffer was shipped onward (a repatched flight frame) and must
-// not be recycled.
-func (s *Shard) handle(st *shardWorker, in InFrame) (retained bool, err error) {
+// not be recycled. t is the sampled-batch Lap chain (0 = unsampled),
+// threaded through and returned so the worker's whole batch is tiled
+// by stage attributions.
+func (s *Shard) handle(st *shardWorker, in InFrame, t int64) (retained bool, tOut int64, err error) {
 	// The two fixed-layout kinds have their own decoders; everything
 	// else — including any message that fails the peek (bad magic, a
 	// foreign version) — goes through UnmarshalFrame for the full
@@ -337,18 +405,20 @@ func (s *Shard) handle(st *shardWorker, in InFrame) (retained bool, err error) {
 	if k, ok := wire.PeekFrameKind(in.Data); ok {
 		switch k {
 		case wire.FrameFlight:
-			return s.handleFlight(st, in)
+			return s.handleFlight(st, in, t)
 		case wire.FrameInjectBatch:
-			return false, s.handleInjectBatch(st, in)
+			t, err = s.handleInjectBatch(st, in, t)
+			return false, t, err
 		}
 	}
 	f := &st.frame
 	if err := wire.UnmarshalFrame(in.Data, f); err != nil {
-		return false, err
+		return false, t, err
 	}
 	switch f.Kind {
 	case wire.FrameInject:
-		return false, s.inject(st, f, in.Conn)
+		t, err = s.inject(st, f, in.Conn, t)
+		return false, t, err
 	case wire.FramePacket:
 		// The legacy varint packet frame: still decoded (older clients,
 		// hostile-input resilience), re-framed as a flight frame at its
@@ -357,38 +427,41 @@ func (s *Shard) handle(st *shardWorker, in InFrame) (retained bool, err error) {
 		// A packet frame's routing fields are untrusted input on the
 		// network transport: validate them before any array access.
 		if err := checkName(s.view, f.SrcName); err != nil {
-			return false, err
+			return false, t, err
 		}
 		if err := checkName(s.view, f.DstName); err != nil {
-			return false, err
+			return false, t, err
 		}
 		if f.At < 0 || int(f.At) >= s.view.Graph().N() {
-			return false, fmt.Errorf("cluster: packet frame at node %d outside [0,%d)", f.At, s.view.Graph().N())
+			return false, t, fmt.Errorf("cluster: packet frame at node %d outside [0,%d)", f.At, s.view.Graph().N())
 		}
 		h, err := st.hdec.DecodeBare(f.Header)
 		if err != nil {
-			return false, err
+			return false, t, err
 		}
 		f.Header = nil
+		t = st.p.Lap(telemetry.StageDecode, t)
 		var fl sim.Flight
 		if !f.Return {
 			fl = flightOf(f.Out, f.At)
 		} else {
 			fl = flightOf(f.Back, f.At)
 		}
-		return s.advance(st, f, h, fl, nil, wire.FlightState{})
+		return s.advance(st, f, h, fl, nil, wire.FlightState{}, t)
 	case wire.FrameDone:
 		// A completion report passing through its home shard on the way
 		// back to the client connection that injected it.
-		return false, s.tr.Reply(f.Origin, in.Data)
+		err := s.tr.Reply(f.Origin, in.Data)
+		return false, st.p.Lap(telemetry.StageSend, t), err
 	case wire.FrameInfoReq:
 		data, err := wire.MarshalFrame(&s.info, nil)
 		if err != nil {
-			return false, err
+			return false, t, err
 		}
-		return false, s.tr.Reply(in.Conn, data)
+		err = s.tr.Reply(in.Conn, data)
+		return false, st.p.Lap(telemetry.StageSend, t), err
 	default:
-		return false, fmt.Errorf("cluster: shard %d received unexpected %d frame", s.view.Shard(), f.Kind)
+		return false, t, fmt.Errorf("cluster: shard %d received unexpected %d frame", s.view.Shard(), f.Kind)
 	}
 }
 
@@ -397,44 +470,52 @@ func (s *Shard) handle(st *shardWorker, in InFrame) (retained bool, err error) {
 // offsets, the label blobs only if this shard owns the endpoint that
 // reads them, and the received bytes ride along so the next crossing
 // can ship them repatched or copy the skipped blobs verbatim.
-func (s *Shard) handleFlight(st *shardWorker, in InFrame) (bool, error) {
+func (s *Shard) handleFlight(st *shardWorker, in InFrame, t int64) (bool, int64, error) {
 	f := &st.frame
 	if err := wire.UnmarshalFlightFrame(in.Data, f); err != nil {
-		return false, err
+		return false, t, err
 	}
 	st.stats.FramesIn++
 	if err := checkName(s.view, f.SrcName); err != nil {
-		return false, err
+		return false, t, err
 	}
 	if err := checkName(s.view, f.DstName); err != nil {
-		return false, err
+		return false, t, err
 	}
 	if f.At < 0 || int(f.At) >= s.view.Graph().N() {
-		return false, fmt.Errorf("cluster: flight frame at node %d outside [0,%d)", f.At, s.view.Graph().N())
+		return false, t, fmt.Errorf("cluster: flight frame at node %d outside [0,%d)", f.At, s.view.Graph().N())
 	}
 	h, fs, err := st.hdec.DecodeFlight(f, s.view)
 	if err != nil {
-		return false, err
+		return false, t, err
 	}
 	f.Header = nil
+	t = st.p.Lap(telemetry.StageDecode, t)
+	if st.p.Traced(f.Rt) {
+		hops := int32(f.Out.Hops + f.Back.Hops)
+		st.p.Record(telemetry.EvArrive, f.Rt, s.view.Shard(), st.worker, int32(f.At), -1, hops, f.Return)
+	}
 	var fl sim.Flight
 	if !f.Return {
 		fl = flightOf(f.Out, f.At)
 	} else {
 		fl = flightOf(f.Back, f.At)
 	}
-	return s.advance(st, f, h, fl, in.Data, fs)
+	return s.advance(st, f, h, fl, in.Data, fs, t)
 }
 
 // handleInjectBatch starts every roundtrip of a batched inject message.
-func (s *Shard) handleInjectBatch(st *shardWorker, in InFrame) error {
-	return wire.ForEachInject(in.Data, &st.frame, func(f *wire.Frame) error {
-		return s.inject(st, f, in.Conn)
+func (s *Shard) handleInjectBatch(st *shardWorker, in InFrame, t int64) (int64, error) {
+	err := wire.ForEachInject(in.Data, &st.frame, func(f *wire.Frame) error {
+		var err error
+		t, err = s.inject(st, f, in.Conn, t)
+		return err
 	})
+	return t, err
 }
 
 // inject starts (or re-routes) one requested roundtrip.
-func (s *Shard) inject(st *shardWorker, f *wire.Frame, conn uint64) error {
+func (s *Shard) inject(st *shardWorker, f *wire.Frame, conn uint64, t int64) (int64, error) {
 	// Fresh client injects are stamped with their reply route
 	// before anything else, so re-routing preserves it.
 	if f.Home == wire.HomeClient {
@@ -442,10 +523,10 @@ func (s *Shard) inject(st *shardWorker, f *wire.Frame, conn uint64) error {
 		f.Origin = conn
 	}
 	if err := checkName(s.view, f.SrcName); err != nil {
-		return err
+		return t, err
 	}
 	if err := checkName(s.view, f.DstName); err != nil {
-		return err
+		return t, err
 	}
 	src := s.view.NodeOf(f.SrcName)
 	if !s.view.Owns(src) {
@@ -454,24 +535,29 @@ func (s *Shard) inject(st *shardWorker, f *wire.Frame, conn uint64) error {
 		f.Kind = wire.FrameInject
 		data, err := wire.AppendFrame(st.outBuf(), f, nil)
 		if err != nil {
-			return err
+			return t, err
 		}
-		return s.ship(st, s.place.Shard(src), data)
+		t = st.p.Lap(telemetry.StageEncode, t)
+		return s.ship(st, s.place.Shard(src), data, t)
 	}
 	h := st.inject
 	var err error
 	if h == nil {
 		if h, err = s.view.NewHeader(f.SrcName, f.DstName); err != nil {
-			return err
+			return t, err
 		}
+		st.stats.Allocs++
 		st.inject = h
 	} else if err = s.view.ResetHeader(h, f.SrcName, f.DstName); err != nil {
-		return err
+		return t, err
+	}
+	if st.p.Traced(f.Rt) {
+		st.p.Record(telemetry.EvInject, f.Rt, s.view.Shard(), st.worker, int32(src), -1, 0, false)
 	}
 	f.Return = false
 	f.Out, f.Back = wire.LegTotals{}, wire.LegTotals{}
-	_, err = s.advance(st, f, h, sim.Flight{Last: src, MaxHeaderWords: h.Words()}, nil, wire.FlightState{})
-	return err
+	_, t, err = s.advance(st, f, h, sim.Flight{Last: src, MaxHeaderWords: h.Words()}, nil, wire.FlightState{}, t)
+	return t, err
 }
 
 // advance drives a packet as far as this shard can take it: segment by
@@ -485,13 +571,23 @@ func (s *Shard) inject(st *shardWorker, f *wire.Frame, conn uint64) error {
 // zero-copy crossing — and a reshaped header re-encodes, with the label
 // blobs this shard never decoded copied from prev verbatim. retained
 // reports the repatch case: prev now belongs to the transport.
-func (s *Shard) advance(st *shardWorker, f *wire.Frame, h sim.Header, fl sim.Flight, prev []byte, fs wire.FlightState) (retained bool, err error) {
+func (s *Shard) advance(st *shardWorker, f *wire.Frame, h sim.Header, fl sim.Flight, prev []byte, fs wire.FlightState, t int64) (retained bool, tOut int64, err error) {
+	traced := st.p.Traced(f.Rt)
 	for {
-		delivered, err := s.seg.Fly(h, &fl)
+		var delivered bool
+		if traced && st.hook != nil {
+			// The hooked runner records every hop; trRt/trRet feed the
+			// hook without a per-packet closure.
+			st.trRt, st.trRet = f.Rt, f.Return
+			delivered, err = s.seg.FlyHooked(h, &fl, st.hook)
+		} else {
+			delivered, err = s.seg.Fly(h, &fl)
+		}
 		if err != nil {
-			return false, err
+			return false, t, err
 		}
 		if !delivered {
+			t = st.p.Lap(telemetry.StageRoute, t)
 			if !f.Return {
 				f.Out = totalsOf(fl)
 			} else {
@@ -501,46 +597,59 @@ func (s *Shard) advance(st *shardWorker, f *wire.Frame, h sim.Header, fl sim.Fli
 			f.Kind = wire.FrameFlight
 			to := s.place.Shard(fl.Last)
 			st.stats.FramesOut++
+			if traced {
+				hops := int32(f.Out.Hops + f.Back.Hops)
+				st.p.Record(telemetry.EvDepart, f.Rt, s.view.Shard(), st.worker, int32(f.At), int32(to), hops, f.Return)
+			}
 			if prev != nil && fs.CanPatch(f, h) {
 				if err := wire.RepatchFlight(prev, f, h); err != nil {
-					return false, err
+					return false, t, err
 				}
-				return true, s.ship(st, to, prev)
+				t = st.p.Lap(telemetry.StageEncode, t)
+				t, err = s.ship(st, to, prev, t)
+				return true, t, err
 			}
 			data, err := wire.AppendFlightFrame(st.outBuf(), f, h, prev)
 			if err != nil {
-				return false, err
+				return false, t, err
 			}
 			if len(data) > st.sizeHint {
 				st.sizeHint = len(data) + len(data)/4
 			}
-			return false, s.ship(st, to, data)
+			t = st.p.Lap(telemetry.StageEncode, t)
+			t, err = s.ship(st, to, data, t)
+			return false, t, err
 		}
 		if !f.Return {
 			dst := s.view.NodeOf(f.DstName)
 			if fl.Last != dst {
-				return false, fmt.Errorf("cluster: outbound %d->%d delivered at wrong node %d", f.SrcName, f.DstName, fl.Last)
+				return false, t, fmt.Errorf("cluster: outbound %d->%d delivered at wrong node %d", f.SrcName, f.DstName, fl.Last)
 			}
 			f.Out = totalsOf(fl)
 			if err := s.view.BeginReturn(h); err != nil {
-				return false, err
+				return false, t, err
 			}
 			f.Return = true
+			if traced {
+				st.p.Record(telemetry.EvFlip, f.Rt, s.view.Shard(), st.worker, int32(dst), -1, f.Out.Hops, true)
+			}
 			fl = sim.Flight{Last: dst, MaxHeaderWords: h.Words()}
 			continue
 		}
 		src := s.view.NodeOf(f.SrcName)
 		if fl.Last != src {
-			return false, fmt.Errorf("cluster: return %d->%d delivered at wrong node %d", f.DstName, f.SrcName, fl.Last)
+			return false, t, fmt.Errorf("cluster: return %d->%d delivered at wrong node %d", f.DstName, f.SrcName, fl.Last)
 		}
 		f.Back = totalsOf(fl)
-		return false, s.complete(st, f)
+		t = st.p.Lap(telemetry.StageRoute, t)
+		t, err = s.complete(st, f, t)
+		return false, t, err
 	}
 }
 
 // complete records a finished roundtrip and routes its completion
 // report home.
-func (s *Shard) complete(st *shardWorker, f *wire.Frame) error {
+func (s *Shard) complete(st *shardWorker, f *wire.Frame, t int64) (int64, error) {
 	hops := int(f.Out.Hops) + int(f.Back.Hops)
 	weight := f.Out.Weight + f.Back.Weight
 	st.stats.Packets++
@@ -552,8 +661,15 @@ func (s *Shard) complete(st *shardWorker, f *wire.Frame) error {
 		hw = f.Back.MaxHeaderWords
 	}
 	st.hdrHist.Add(int(hw))
+	st.p.Heat(f.DstName)
+	if st.p.Traced(f.Rt) {
+		st.p.Record(telemetry.EvComplete, f.Rt, s.view.Shard(), st.worker, int32(s.view.NodeOf(f.SrcName)), -1, int32(hops), true)
+	}
 	if f.Home == wire.HomeLocal {
 		if f.Sampled {
+			if len(st.samples) == cap(st.samples) {
+				st.stats.Allocs++
+			}
 			st.samples = append(st.samples, traffic.Sample{
 				Src:    s.view.NodeOf(f.SrcName),
 				Dst:    s.view.NodeOf(f.DstName),
@@ -563,20 +679,23 @@ func (s *Shard) complete(st *shardWorker, f *wire.Frame) error {
 		if s.opts.OnDone != nil {
 			s.opts.OnDone(f)
 		}
-		return nil
+		return st.p.Lap(telemetry.StageComplete, t), nil
 	}
 	done := wire.Frame{
 		Kind: wire.FrameDone, SrcName: f.SrcName, DstName: f.DstName,
 		Out: f.Out, Back: f.Back, Origin: f.Origin, Rt: f.Rt, Sampled: f.Sampled,
 	}
+	t = st.p.Lap(telemetry.StageComplete, t)
 	data, err := wire.AppendFrame(st.outBuf(), &done, nil)
 	if err != nil {
-		return err
+		return t, err
 	}
+	t = st.p.Lap(telemetry.StageEncode, t)
 	if int(f.Home) == s.view.Shard() {
-		return s.tr.Reply(f.Origin, data)
+		err := s.tr.Reply(f.Origin, data)
+		return st.p.Lap(telemetry.StageSend, t), err
 	}
-	return s.ship(st, int(f.Home), data)
+	return s.ship(st, int(f.Home), data, t)
 }
 
 func totalsOf(fl sim.Flight) wire.LegTotals {

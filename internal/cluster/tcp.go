@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -63,6 +64,19 @@ type TCPTransport struct {
 	peers []tcpPeer           // lazily dialed shard->shard links, by shard index
 	conns map[uint64]*tcpConn // accepted connections, by reply token
 	next  uint64
+
+	// Link-health counters for the telemetry plane: peerDowns counts
+	// up->down transitions (each one a burst of fast-failing sends),
+	// redials counts background dial attempts spent repairing them.
+	peerDowns atomic.Int64
+	redials   atomic.Int64
+}
+
+// LinkStats reports the transport's link-health counters: how many
+// times an up link broke, and how many background dial attempts the
+// redialer has spent. Safe to call concurrently with serving.
+func (t *TCPTransport) LinkStats() (peerDowns, redials int64) {
+	return t.peerDowns.Load(), t.redials.Load()
 }
 
 // tcpPeer is one outgoing shard link's state machine: virgin (never
@@ -279,6 +293,7 @@ func (t *TCPTransport) markPeerDown(to int, tc *tcpConn, err error) {
 	}
 	p.conn = nil
 	p.lastErr = err
+	t.peerDowns.Add(1)
 	if !p.redialing {
 		p.redialing = true
 		go t.redialPeer(to)
@@ -301,6 +316,7 @@ func (t *TCPTransport) redialPeer(to int) {
 			return
 		default:
 		}
+		t.redials.Add(1)
 		if _, err := t.dialPeer(to); err == nil || err == ErrClosed {
 			return
 		}
@@ -374,6 +390,15 @@ func (t *TCPTransport) Reply(conn uint64, frame []byte) error {
 		return fmt.Errorf("cluster: reply to closed connection %d", conn)
 	}
 	return tc.writeFrame(frame)
+}
+
+// CloseAccept stops accepting new connections without disturbing the
+// ones already up: the first stage of a graceful shutdown, where the
+// daemon drains in-flight roundtrips before Close tears the rest down.
+// Idempotent; Close after CloseAccept closes the listener again, which
+// is a no-op.
+func (t *TCPTransport) CloseAccept() error {
+	return t.ln.Close()
 }
 
 // Close implements Transport.

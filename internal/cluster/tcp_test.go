@@ -58,6 +58,9 @@ func TestTCPFlappingPeer(t *testing.T) {
 	if down.Shard != 1 {
 		t.Fatalf("PeerDownError.Shard = %d, want 1", down.Shard)
 	}
+	if downs, _ := trA.LinkStats(); downs < 1 {
+		t.Fatalf("LinkStats peerDowns = %d after a link broke, want >= 1", downs)
+	}
 	failStart := time.Now()
 	if err := trA.Send(1, frame); !errors.As(err, &down) {
 		t.Fatalf("send while down: got %v, want *PeerDownError", err)
@@ -89,6 +92,16 @@ func TestTCPFlappingPeer(t *testing.T) {
 	}
 	if got, err := trB2.Recv(); err != nil || string(got[0].Data) != "ping" {
 		t.Fatalf("recv after recovery: %v %q", err, got)
+	}
+	// Recovery goes through the background redialer only (the inline
+	// path fails fast once a link has been up), so the redial counter
+	// must have moved; the down counter records the one transition.
+	downs, redials := trA.LinkStats()
+	if redials < 1 {
+		t.Fatalf("LinkStats redials = %d after background recovery, want >= 1", redials)
+	}
+	if downs < 1 {
+		t.Fatalf("LinkStats peerDowns = %d after flap, want >= 1", downs)
 	}
 }
 

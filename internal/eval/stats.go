@@ -134,6 +134,37 @@ func (h *Hist) Mean() float64 {
 	return float64(h.Sum) / float64(h.N)
 }
 
+// Quantile returns an approximate q-quantile (0 < q <= 1) of the
+// recorded values: the midpoint of the power-of-two bucket containing
+// the nearest-rank sample. Resolution is the bucket width — good
+// enough for the stage-timing tables, exact for hop counts that fit
+// one bucket.
+func (h *Hist) Quantile(q float64) int64 {
+	if h.N == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.N))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.N {
+		rank = h.N
+	}
+	var seen int64
+	for i, c := range h.Buckets {
+		seen += c
+		if seen >= rank {
+			lo, hi := bucketBounds(i)
+			mid := lo + (hi-lo)/2
+			if mid > h.MaxV {
+				mid = h.MaxV
+			}
+			return mid
+		}
+	}
+	return h.MaxV
+}
+
 // bucketBounds returns the [lo, hi] value range of bucket i.
 func bucketBounds(i int) (int64, int64) {
 	if i == 0 {

@@ -1,0 +1,92 @@
+package telemetry
+
+import "sort"
+
+// HeatEntry is one destination's estimated completion count from the
+// space-saving sketch. Count overestimates by at most Err, so
+// Count - Err is a guaranteed lower bound — the usual space-saving
+// error accounting.
+type HeatEntry struct {
+	Dst   int32 `json:"dst"`
+	Count int64 `json:"count"`
+	Err   int64 `json:"err,omitempty"`
+}
+
+// sketch is a fixed-size space-saving top-K counter (Metwally et al.):
+// a hit increments its entry, a miss evicts the current minimum and
+// inherits its count as the new entry's error bound. K is small (16 by
+// default) so the hit path is a linear scan over one cache line's
+// worth of entries — no hashing, no allocation, single-goroutine.
+type sketch struct {
+	k int
+	e []HeatEntry
+}
+
+func (s *sketch) init(k int) {
+	s.k = k
+	s.e = make([]HeatEntry, 0, k)
+}
+
+func (s *sketch) add(key int32) {
+	if s.k == 0 {
+		return
+	}
+	mini := -1
+	var min int64
+	for i := range s.e {
+		if s.e[i].Dst == key {
+			s.e[i].Count++
+			return
+		}
+		if mini < 0 || s.e[i].Count < min {
+			mini, min = i, s.e[i].Count
+		}
+	}
+	if len(s.e) < s.k {
+		s.e = append(s.e, HeatEntry{Dst: key, Count: 1})
+		return
+	}
+	// Evict the minimum: the newcomer could have been undercounted by
+	// up to the evicted count, recorded as its error bound.
+	s.e[mini] = HeatEntry{Dst: key, Count: min + 1, Err: min}
+}
+
+// copyInto copies the sketch's entries into dst (reusing its backing
+// array), for Publish.
+func (s *sketch) copyInto(dst []HeatEntry) []HeatEntry {
+	dst = dst[:0]
+	return append(dst, s.e...)
+}
+
+// mergeHeat folds many published sketches into one estimated top-k:
+// counts for the same destination sum (as do error bounds), then the
+// largest k survive, ordered hottest first.
+func mergeHeat(k int, parts ...[]HeatEntry) []HeatEntry {
+	merged := make(map[int32]HeatEntry)
+	for _, part := range parts {
+		for _, e := range part {
+			m := merged[e.Dst]
+			m.Dst = e.Dst
+			m.Count += e.Count
+			m.Err += e.Err
+			merged[e.Dst] = m
+		}
+	}
+	if len(merged) == 0 {
+		return nil
+	}
+	out := make([]HeatEntry, 0, len(merged))
+	for _, e := range merged {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -11,6 +11,7 @@ import (
 	"rtroute/internal/eval"
 	"rtroute/internal/graph"
 	"rtroute/internal/sim"
+	"rtroute/internal/telemetry"
 )
 
 // Config parameterizes one engine run.
@@ -36,6 +37,26 @@ type Config struct {
 	// accounting (0 or 1 = every packet). Counters and histograms
 	// always cover every packet.
 	SampleEvery int
+	// Sink, when non-nil, attaches the telemetry plane: one probe per
+	// worker on the sink's single pseudo-shard (shard row 0), counters
+	// published every publishEvery roundtrips, whole-roundtrip timing
+	// sampled on the sink's batch stride, destination heat per packet.
+	Sink *telemetry.Sink
+}
+
+// publishEvery is the engine's counter publish cadence (the monolith
+// has no mailbox batches, so a fixed roundtrip stride stands in).
+const publishEvery = 32
+
+// SinkShape returns a telemetry.Config matching this run config's
+// probe shape (one pseudo-shard, one probe per worker), resolving the
+// same worker default Run does.
+func (cfg Config) SinkShape() telemetry.Config {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return telemetry.Config{Shards: []int{0}, Workers: workers}
 }
 
 // WorkerStats is one worker's merged shard.
@@ -127,16 +148,32 @@ func Run(pl *Plane, cfg Config) (*Result, error) {
 		gen := wl.Generator(w)
 		quota := quotas[w]
 		wg.Add(1)
+		p := cfg.Sink.Probe(0, w)
 		go func() {
 			defer wg.Done()
 			if cfg.Oracle != nil {
 				sh.samples = make([]Sample, 0, quota/stride+1)
 			}
+			publish := func() {
+				p.Publish(telemetry.Counters{
+					Packets: sh.stats.Packets, Hops: sh.stats.Hops, Weight: sh.stats.Weight,
+				})
+			}
+			if p != nil {
+				defer publish()
+			}
 			// One header serves the worker's whole stream: the first
 			// roundtrip allocates it, every later one resets it in place.
 			var hdr sim.Header
 			for i := int64(0); i < quota; i++ {
+				// The monolith has no mailbox batches, so each roundtrip
+				// opens a probe "batch": the sink's sampling stride picks
+				// whole roundtrips to clock, tiled as inject (pair
+				// generation), route (the forwarding loop) and complete
+				// (accounting).
+				t := p.BatchStart(0)
 				src, dst := gen.Next()
+				t = p.Lap(telemetry.StageInject, t)
 				var out, back sim.Flight
 				var err error
 				out, back, hdr, err = sim.RoundtripFlightReusing(pl, hdr, src, dst, cfg.MaxHops)
@@ -144,6 +181,7 @@ func Run(pl *Plane, cfg Config) (*Result, error) {
 					sh.err = fmt.Errorf("traffic: worker %d packet %d: %w", sh.stats.Worker, i, err)
 					return
 				}
+				t = p.Lap(telemetry.StageRoute, t)
 				weight := out.Weight + back.Weight
 				hops := out.Hops + back.Hops
 				sh.stats.Packets++
@@ -157,6 +195,13 @@ func Run(pl *Plane, cfg Config) (*Result, error) {
 				sh.hdrHist.Add(hw)
 				if cfg.Oracle != nil && i%stride == 0 {
 					sh.samples = append(sh.samples, Sample{Src: pl.NodeOf(src), Dst: pl.NodeOf(dst), Weight: weight})
+				}
+				if p != nil {
+					p.Heat(dst)
+					p.Lap(telemetry.StageComplete, t)
+					if sh.stats.Packets%publishEvery == 0 {
+						publish()
+					}
 				}
 			}
 		}()
