@@ -6,7 +6,7 @@ BENCH_PATTERN ?= Dijkstra|EdgeByPort|MetricBuild|TrafficThroughput
 COUNT ?= 5
 OUT ?= bench-new.txt
 
-.PHONY: all build test verify race short large bench bench-smoke bench-json benchcmp fmt vet lint ci traffic traffic-large cluster obs docs fuzz-smoke sizes
+.PHONY: all build test verify race short large bench bench-smoke bench-json benchcmp fmt vet lint ci traffic traffic-large cluster obs churn docs fuzz-smoke sizes
 
 all: verify
 
@@ -72,6 +72,16 @@ obs:
 	$(GO) test -race -run 'TestClusterLiveSnapshot|TestTCPMetricsEndpoint|TestWindow|TestTCPFlappingPeer' ./internal/cluster
 	$(GO) test -race ./internal/telemetry
 
+# Dynamic-topology smoke (E17/E18) under the race detector: the churn
+# epoch loop — seeded events, stale-window serving with typed drops,
+# incremental repair, per-epoch certification against a from-scratch
+# build — then the maintenance property/fuzz tests and the TCP
+# peer-flap units (monitor detection, mid-batch kill).
+churn:
+	$(GO) run -race ./cmd/rtbench -exp churn -n 128 -packets 6000 -epochs 3 -rate 4 -seed 1
+	$(GO) test -race -run 'TestRunChurnSmoke|TestIncrementalMatchesFreshUnderEventFuzz|TestRebuildAllMatchesFreshBuild|TestModelReplayDeterminism|TestAffectedSetIsSound' .
+	$(GO) test -race -run 'TestTCPPeerDeathDetectedByMonitor|TestTCPPeerFlapMidBatch' ./internal/cluster
+
 # Docs gate: README/DESIGN Go fences must parse (gofmt-clean when
 # written as complete files) and relative links must resolve.
 docs:
@@ -106,4 +116,4 @@ vet:
 
 lint: fmt vet
 
-ci: lint build race traffic cluster obs docs bench-smoke fuzz-smoke
+ci: lint build race traffic cluster obs churn docs bench-smoke fuzz-smoke

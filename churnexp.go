@@ -1,0 +1,458 @@
+package rtroute
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rtroute/internal/churn"
+	"rtroute/internal/sim"
+	"rtroute/internal/telemetry"
+	"rtroute/internal/traffic"
+)
+
+// Re-exported churn surface, so drivers configure the dynamic-topology
+// plane without importing internal packages.
+type (
+	// ChurnMix weights the event kinds a churn model draws from.
+	ChurnMix = churn.Mix
+	// ChurnEvent is one timestamped topology event.
+	ChurnEvent = churn.Event
+	// DamperOptions tunes the per-link flap damper (RFC 2439 shape).
+	DamperOptions = churn.DamperConfig
+	// ChurnOverlay drives a mutable graph under churn events.
+	ChurnOverlay = churn.Overlay
+	// ChurnModel draws seeded, replayable Poisson-clocked event streams.
+	ChurnModel = churn.Model
+)
+
+// DefaultChurnMix is the standard event-kind weighting.
+var DefaultChurnMix = churn.DefaultMix
+
+// ErrUnroutable matches (via errors.Is) roundtrips that failed typed on
+// an administratively down link before repair caught up.
+var ErrUnroutable = sim.ErrUnroutable
+
+// NewChurnOverlay wraps the system's graph for churn; damper fields at
+// zero select the RFC-flavored defaults.
+func NewChurnOverlay(g *Graph, damper DamperOptions) (*ChurnOverlay, error) {
+	return churn.NewOverlay(g, churn.NewDamper(damper))
+}
+
+// NewChurnModel creates a seeded event model over an overlay; the event
+// stream is a pure function of (seed, rate, mix).
+func NewChurnModel(ov *ChurnOverlay, seed int64, rate float64, mix ChurnMix, maxW Dist) *ChurnModel {
+	return churn.NewModel(ov, seed, rate, mix, maxW)
+}
+
+// ChurnConfig parameterizes one RunChurn experiment.
+type ChurnConfig struct {
+	// Kind selects the maintained scheme (default StretchSix).
+	Kind SchemeKind
+	// Build is the scheme construction config (Seed drives the build).
+	Build BuildConfig
+	// ChurnSeed seeds the event model (independent of Build.Seed).
+	ChurnSeed int64
+	// Rate is the churn intensity in events per 10k served packets
+	// (default 1). With PacketsPerEpoch it fixes the events per epoch.
+	Rate float64
+	// Epochs is the number of serve->churn->repair rounds (default 8).
+	Epochs int
+	// PacketsPerEpoch is the post-repair serving quota per epoch
+	// (default 10000).
+	PacketsPerEpoch int64
+	// StaleFraction sizes the pre-repair serving window as a fraction
+	// of PacketsPerEpoch (default 0.05): packets served on stale tables
+	// between the topology events and the repair, where typed drops are
+	// expected and counted.
+	StaleFraction float64
+	// Mix weights the event kinds (zero value = DefaultChurnMix).
+	Mix ChurnMix
+	// MaxWeight bounds perturbed edge weights (default 64).
+	MaxWeight Dist
+	// MinWeight floors perturbed edge weights (default 1); set it to the
+	// graph's weight floor so perturbations stay inside the domain.
+	MinWeight Dist
+	// Damper tunes flap damping (zero value = defaults).
+	Damper DamperOptions
+	// Workers is the serving pool size per window (0 = GOMAXPROCS).
+	Workers int
+	// MaxHops bounds each leg (0 = sim default).
+	MaxHops int
+	// Workload selects the pair distribution (zero value = uniform).
+	Workload TrafficWorkload
+	// Certify re-certifies the maintained plane bit-identical to a
+	// from-scratch build after every epoch's repair.
+	Certify bool
+	// Sink, when non-nil, publishes the churn counters as gauges on
+	// /metrics (rtroute_churn_*).
+	Sink *TelemetrySink
+}
+
+func (cfg *ChurnConfig) fill() {
+	if cfg.Kind == 0 {
+		cfg.Kind = StretchSix
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = 1
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 8
+	}
+	if cfg.PacketsPerEpoch <= 0 {
+		cfg.PacketsPerEpoch = 10000
+	}
+	if cfg.StaleFraction <= 0 {
+		cfg.StaleFraction = 0.05
+	}
+	if cfg.MaxWeight <= 0 {
+		cfg.MaxWeight = 64
+	}
+	if cfg.Mix == (ChurnMix{}) {
+		cfg.Mix = DefaultChurnMix
+	}
+}
+
+// ChurnEpoch is one epoch's record.
+type ChurnEpoch struct {
+	Epoch  int `json:"epoch"`
+	Events int `json:"events"`
+	// Dirty is the union affected set size; DirtyFrac is Dirty/n — the
+	// per-epoch "delta rebuild touched X% of nodes" measurement.
+	Dirty     int     `json:"dirty"`
+	DirtyFrac float64 `json:"dirty_frac"`
+	// Stale window accounting (served on stale tables, pre-repair).
+	StaleServed   int64 `json:"stale_served"`
+	Drops         int64 `json:"drops"`
+	Misroutes     int64 `json:"misroutes"`
+	PostServed    int64 `json:"post_served"`
+	PostDrops     int64 `json:"post_drops"`
+	RepairNs      int64 `json:"repair_ns"`
+	CertifyNs     int64 `json:"certify_ns,omitempty"`
+	RebuiltTables int   `json:"rebuilt_tables"`
+	RebuiltTrees  int   `json:"rebuilt_trees"`
+	PatchedLabels int   `json:"patched_labels"`
+	FullRebuild   bool  `json:"full_rebuild,omitempty"`
+	SuppressedNow int   `json:"suppressed_now"`
+	DownNow       int   `json:"down_now"`
+	FailedNow     int   `json:"failed_now"`
+}
+
+// ChurnResult aggregates one RunChurn experiment.
+type ChurnResult struct {
+	Kind            string        `json:"kind"`
+	N               int           `json:"n"`
+	Epochs          []ChurnEpoch  `json:"epochs"`
+	TotalEvents     int64         `json:"total_events"`
+	TotalServed     int64         `json:"total_served"`
+	TotalDrops      int64         `json:"total_drops"`
+	TotalMisroutes  int64         `json:"total_misroutes"`
+	TotalRepairs    int64         `json:"total_repairs"`
+	SuppressedFlaps int64         `json:"suppressed_flaps"`
+	DamperReleases  int64         `json:"damper_releases"`
+	MeanDirtyFrac   float64       `json:"mean_dirty_frac"`
+	MaxDirtyFrac    float64       `json:"max_dirty_frac"`
+	MeanRepairNs    int64         `json:"mean_repair_ns"`
+	MaxRepairNs     int64         `json:"max_repair_ns"`
+	Certified       bool          `json:"certified"`
+	Elapsed         time.Duration `json:"elapsed_ns"`
+}
+
+// churnCounters is the atomically updated live counter block the sink
+// gauges read while an experiment runs.
+type churnCounters struct {
+	repairs     atomic.Int64
+	drops       atomic.Int64
+	misroutes   atomic.Int64
+	staleServes atomic.Int64
+	suppressed  atomic.Int64
+	events      atomic.Int64
+}
+
+func (c *churnCounters) register(sink *telemetry.Sink) {
+	if sink == nil {
+		return
+	}
+	sink.RegisterGauge("churn_repairs_total", func() float64 { return float64(c.repairs.Load()) })
+	sink.RegisterGauge("churn_drops_total", func() float64 { return float64(c.drops.Load()) })
+	sink.RegisterGauge("churn_misroutes_total", func() float64 { return float64(c.misroutes.Load()) })
+	sink.RegisterGauge("churn_stale_serves_total", func() float64 { return float64(c.staleServes.Load()) })
+	sink.RegisterGauge("churn_suppressed_flaps_total", func() float64 { return float64(c.suppressed.Load()) })
+	sink.RegisterGauge("churn_events_total", func() float64 { return float64(c.events.Load()) })
+}
+
+// RunChurn drives the full dynamic-topology loop over the system: build
+// a maintained scheme, then per epoch (1) draw and apply a batch of
+// seeded churn events, (2) serve a stale window on the un-repaired
+// tables — every roundtrip either completes on a stale-but-alive route
+// or fails typed with ErrUnroutable, never hangs — counting drops and
+// misroutes, (3) repair via RebuildNodes over the batch's union affected
+// set, clocking the repair latency, (4) optionally certify the repaired
+// plane bit-identical to a from-scratch build, and (5) serve the epoch
+// quota on the repaired plane, where drops can no longer occur.
+//
+// The system must be built with MetricLazy (BuildMaintained's oracle
+// requirement). Workloads never address a failed endpoint: pairs drawn
+// against currently failed nodes are resampled, modeling clients that
+// stop calling a dead service.
+func RunChurn(sys *System, cfg ChurnConfig) (*ChurnResult, error) {
+	cfg.fill()
+	if cfg.Build.K == 0 {
+		cfg.Build.K = 2
+	}
+	m, err := sys.BuildMaintained(cfg.Kind, func(c *BuildConfig) { *c = cfg.Build })
+	if err != nil {
+		return nil, err
+	}
+	ov, err := churn.NewOverlay(sys.Graph, churn.NewDamper(cfg.Damper))
+	if err != nil {
+		return nil, err
+	}
+	model := churn.NewModel(ov, cfg.ChurnSeed, cfg.Rate, cfg.Mix, cfg.MaxWeight)
+	if cfg.MinWeight > 1 {
+		model.SetMinWeight(cfg.MinWeight)
+	}
+
+	eventsPerEpoch := int(cfg.Rate * float64(cfg.PacketsPerEpoch) / 10000)
+	if eventsPerEpoch < 1 {
+		eventsPerEpoch = 1
+	}
+	stalePackets := int64(cfg.StaleFraction * float64(cfg.PacketsPerEpoch))
+	if stalePackets < 1 {
+		stalePackets = 1
+	}
+
+	var ctr churnCounters
+	ctr.register(cfg.Sink)
+
+	n := sys.Graph.N()
+	res := &ChurnResult{Kind: cfg.Kind.String(), N: n, Certified: cfg.Certify}
+	start := time.Now()
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		ep := ChurnEpoch{Epoch: epoch}
+
+		// (1) Event batch: apply, union the affected sets, then advance
+		// the damper clock to the batch's end (released links rejoin).
+		seen := make([]bool, n)
+		var dirty []NodeID
+		union := func(ds []NodeID) {
+			for _, v := range ds {
+				if !seen[v] {
+					seen[v] = true
+					dirty = append(dirty, v)
+				}
+			}
+		}
+		var at float64
+		for i := 0; i < eventsPerEpoch; i++ {
+			ev := model.Next()
+			at = ev.At
+			ds, err := ov.Apply(ev)
+			if err != nil {
+				return nil, fmt.Errorf("rtroute: churn epoch %d event %d (%v): %w", epoch, i, ev, err)
+			}
+			union(ds)
+			ep.Events++
+			ctr.events.Add(1)
+		}
+		released, err := ov.Advance(at)
+		if err != nil {
+			return nil, fmt.Errorf("rtroute: churn epoch %d damper release: %w", epoch, err)
+		}
+		union(released)
+		churn.SortNodeIDs(dirty)
+		ep.Dirty = len(dirty)
+		ep.DirtyFrac = float64(len(dirty)) / float64(n)
+
+		// (2) Stale window: the tables still describe the pre-batch
+		// topology; routes crossing a downed link fail typed.
+		sw, err := serveWindow(m.Plane(), ov, cfg, stalePackets, true)
+		if err != nil {
+			return nil, fmt.Errorf("rtroute: churn epoch %d stale window: %w", epoch, err)
+		}
+		ep.StaleServed = sw.served
+		ep.Drops = sw.drops
+		ep.Misroutes = sw.misroutes
+		ctr.drops.Add(sw.drops)
+		ctr.misroutes.Add(sw.misroutes)
+		ctr.staleServes.Add(sw.served)
+
+		// (3) Repair.
+		t0 := time.Now()
+		rep, err := m.RebuildNodes(dirty)
+		if err != nil {
+			return nil, fmt.Errorf("rtroute: churn epoch %d repair: %w", epoch, err)
+		}
+		ep.RepairNs = int64(time.Since(t0))
+		ep.RebuiltTables = rep.RebuiltTables
+		ep.RebuiltTrees = rep.RebuiltTrees
+		ep.PatchedLabels = rep.PatchedLabels
+		ep.FullRebuild = rep.FullRebuild
+		ctr.repairs.Add(1)
+
+		// (4) Certification against a from-scratch build.
+		if cfg.Certify {
+			t1 := time.Now()
+			if err := m.Certify(); err != nil {
+				return nil, fmt.Errorf("rtroute: churn epoch %d certification: %w", epoch, err)
+			}
+			ep.CertifyNs = int64(time.Since(t1))
+		}
+
+		// (5) Post-repair serving: the repaired tables route around every
+		// down link (live graph stays strongly connected), so drops here
+		// indicate a maintenance bug — they are counted, not tolerated.
+		pw, err := serveWindow(m.Plane(), ov, cfg, cfg.PacketsPerEpoch, false)
+		if err != nil {
+			return nil, fmt.Errorf("rtroute: churn epoch %d post-repair serving: %w", epoch, err)
+		}
+		ep.PostServed = pw.served
+		ep.PostDrops = pw.drops
+		if pw.misroutes > 0 {
+			return nil, fmt.Errorf("rtroute: churn epoch %d: %d misroutes on repaired tables", epoch, pw.misroutes)
+		}
+
+		ovs := ov.Stats()
+		ctr.suppressed.Store(ovs.SuppressedFlaps)
+		ep.SuppressedNow = ovDamperSuppressed(ov)
+		ep.DownNow = ov.DownCount()
+		ep.FailedNow = ov.FailedCount()
+
+		res.Epochs = append(res.Epochs, ep)
+		res.TotalEvents += int64(ep.Events)
+		res.TotalServed += ep.StaleServed + ep.PostServed
+		res.TotalDrops += ep.Drops + ep.PostDrops
+		res.TotalMisroutes += ep.Misroutes
+		res.TotalRepairs++
+		res.MeanDirtyFrac += ep.DirtyFrac
+		if ep.DirtyFrac > res.MaxDirtyFrac {
+			res.MaxDirtyFrac = ep.DirtyFrac
+		}
+		res.MeanRepairNs += ep.RepairNs
+		if ep.RepairNs > res.MaxRepairNs {
+			res.MaxRepairNs = ep.RepairNs
+		}
+	}
+	res.Elapsed = time.Since(start)
+	if len(res.Epochs) > 0 {
+		res.MeanDirtyFrac /= float64(len(res.Epochs))
+		res.MeanRepairNs /= int64(len(res.Epochs))
+	}
+	ovs := ov.Stats()
+	res.SuppressedFlaps = ovs.SuppressedFlaps
+	res.DamperReleases = ovs.DamperReleases
+	return res, nil
+}
+
+func ovDamperSuppressed(ov *churn.Overlay) int { return ov.SuppressedCount() }
+
+// windowStats is one serving window's outcome tally. Every attempted
+// roundtrip lands in exactly one bucket — served, drops or misroutes —
+// which is the zero-hung-roundtrips accounting the churn acceptance
+// checks.
+type windowStats struct {
+	served    int64
+	drops     int64
+	misroutes int64
+}
+
+// serveWindow serves quota roundtrips over the plane with a worker
+// pool, resampling pairs whose endpoints are currently failed. In a
+// stale window (stale=true) typed unroutable failures are expected and
+// counted as drops, and any other forwarding failure (delivery at a
+// wrong node, hop-budget exhaustion on a route invalidated mid-window)
+// is a misroute; outside one, both are still counted and the caller
+// decides whether they are fatal.
+func serveWindow(plane Scheme, ov *churn.Overlay, cfg ChurnConfig, quota int64, stale bool) (windowStats, error) {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	wl, err := traffic.NewWorkload(cfg.Workload, plane.Graph().N(), cfg.Build.Seed^cfg.ChurnSeed)
+	if err != nil {
+		return windowStats{}, err
+	}
+	quotas := traffic.SplitQuota(quota, workers)
+	shards := make([]windowStats, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		gen := wl.Generator(w)
+		myQuota := quotas[w]
+		sh := &shards[w]
+		errp := &errs[w]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var hdr sim.Header
+			for i := int64(0); i < myQuota; i++ {
+				src, dst := gen.Next()
+				// Failed-endpoint exclusion: clients don't call dead
+				// services. Bounded resampling keeps the loop total even
+				// if the model failed most of the universe.
+				for tries := 0; tries < 64 && (ov.NodeFailed(plane.NodeOf(src)) || ov.NodeFailed(plane.NodeOf(dst))); tries++ {
+					src, dst = gen.Next()
+				}
+				var ferr error
+				_, _, hdr, ferr = sim.RoundtripFlightReusing(plane, hdr, src, dst, cfg.MaxHops)
+				switch {
+				case ferr == nil:
+					sh.served++
+				case errors.Is(ferr, sim.ErrUnroutable):
+					sh.drops++
+					// A failed roundtrip may leave the header in an
+					// undefined state; drop it and reallocate.
+					hdr = nil
+				case stale:
+					sh.misroutes++
+					hdr = nil
+				default:
+					*errp = ferr
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var total windowStats
+	for w := range shards {
+		if errs[w] != nil {
+			return total, errs[w]
+		}
+		total.served += shards[w].served
+		total.drops += shards[w].drops
+		total.misroutes += shards[w].misroutes
+	}
+	return total, nil
+}
+
+// Format renders the churn result as the E17 report.
+func (r *ChurnResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "churn: %s over n=%d, %d epochs, %d events, elapsed %v\n",
+		r.Kind, r.N, len(r.Epochs), r.TotalEvents, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "served %d roundtrips: %d dropped on down links (typed), %d misrouted on stale tables, 0 hung\n",
+		r.TotalServed, r.TotalDrops, r.TotalMisroutes)
+	fmt.Fprintf(&b, "repairs %d: mean latency %v, max %v; dirty/event-batch mean %.1f%%, max %.1f%% of nodes\n",
+		r.TotalRepairs, time.Duration(r.MeanRepairNs).Round(time.Microsecond),
+		time.Duration(r.MaxRepairNs).Round(time.Microsecond),
+		100*r.MeanDirtyFrac, 100*r.MaxDirtyFrac)
+	fmt.Fprintf(&b, "damping: %d recoveries suppressed, %d released\n", r.SuppressedFlaps, r.DamperReleases)
+	if r.Certified {
+		fmt.Fprintf(&b, "certified: plane bit-identical to from-scratch build after every epoch\n")
+	}
+	fmt.Fprintf(&b, "\n%-6s %7s %7s %8s %6s %6s %9s %9s %7s %6s %6s\n",
+		"epoch", "events", "dirty", "dirty%", "drops", "misrt", "stale-ok", "post-ok", "repair", "trees", "tables")
+	for _, ep := range r.Epochs {
+		fmt.Fprintf(&b, "%-6d %7d %7d %7.1f%% %6d %6d %9d %9d %7s %6d %6d\n",
+			ep.Epoch, ep.Events, ep.Dirty, 100*ep.DirtyFrac, ep.Drops, ep.Misroutes,
+			ep.StaleServed, ep.PostServed,
+			time.Duration(ep.RepairNs).Round(time.Microsecond),
+			ep.RebuiltTrees, ep.RebuiltTables)
+	}
+	return b.String()
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"rtroute"
+)
+
+// runChurnExp is the E17/E18 dynamic-topology experiment: a maintained
+// scheme serves traffic while a seeded churn model mutates the graph;
+// each epoch measures drops and misroutes during convergence, the
+// repair latency of the incremental RebuildNodes pass, and the dirty
+// fraction (delta-rebuild cost) — optionally certifying the repaired
+// plane bit-identical to a from-scratch build.
+func runChurnExp(n int, seed int64) error {
+	kind, err := schemeKind()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# E17/E18 — dynamic topology: seeded churn, route repair, incremental maintenance\n")
+	fmt.Printf("# n=%d seed=%d scheme=%s rate=%.2g/10k epochs=%d packets=%d certify=%v\n\n",
+		n, seed, trafficScheme, churnRate, churnEpochs, trafficPackets, churnCertify)
+
+	rng := rand.New(rand.NewSource(seed))
+	g := rtroute.RandomSC(n, 32*n, 64, rng)
+	// Remap weights into [33, 64]: with a max/min ratio under 2, no
+	// single edge can dominate its head node's entry, so an event's
+	// affected set reflects real path diversity instead of one funnel
+	// edge that nearly every source routes through.
+	for u := 0; u < n; u++ {
+		for _, e := range g.Out(rtroute.NodeID(u)) {
+			if err := g.SetEdgeWeight(rtroute.NodeID(u), e.To, 33+(e.Weight-1)%32); err != nil {
+				return err
+			}
+		}
+	}
+	// Maintained schemes re-read distances after every mutation, so the
+	// churn experiment always runs on the lazy (mutation-tracking)
+	// oracle regardless of -metric.
+	sys, err := rtroute.NewSystemWith(g, rtroute.RandomNaming(n, rng),
+		rtroute.SystemConfig{Metric: rtroute.MetricLazy, LazyCacheRows: lazyCacheRows})
+	if err != nil {
+		return err
+	}
+
+	perEpoch := trafficPackets / int64(churnEpochs)
+	if perEpoch < 1 {
+		perEpoch = 1
+	}
+	cfg := rtroute.ChurnConfig{
+		Kind:            kind,
+		Build:           rtroute.BuildConfig{Seed: seed},
+		ChurnSeed:       seed + 1,
+		Rate:            churnRate,
+		Epochs:          churnEpochs,
+		PacketsPerEpoch: perEpoch,
+		StaleFraction:   churnStale,
+		MinWeight:       33,
+		MaxWeight:       64,
+		Workers:         trafficWorkers,
+		Certify:         churnCertify,
+		Workload: rtroute.TrafficWorkload{
+			Kind:      rtroute.WorkloadKind(trafficWorkload),
+			ZipfTheta: trafficZipf,
+		},
+	}
+	sink, stop, err := attachSink(rtroute.TelemetryConfig{Shards: []int{0}, Workers: 1})
+	if err != nil {
+		return err
+	}
+	defer stop()
+	cfg.Sink = sink
+
+	res, err := rtroute.RunChurn(sys, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	fmt.Printf("\ndelta-rebuild cost: max %.1f%% of nodes per event batch, mean %.1f%% (acceptance bar: <=20%% at n=1024)\n",
+		100*res.MaxDirtyFrac, 100*res.MeanDirtyFrac)
+	fmt.Println("every roundtrip completed or failed typed (ErrUnroutable) — none hung; see DESIGN.md \"Dynamic topology\"")
+	if benchJSON {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(benchOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", benchOut)
+	}
+	return nil
+}
+
+// schemeKind resolves the -scheme flag to a SchemeKind.
+func schemeKind() (rtroute.SchemeKind, error) {
+	switch trafficScheme {
+	case "stretch6":
+		return rtroute.StretchSix, nil
+	case "exstretch":
+		return rtroute.ExStretch, nil
+	case "poly":
+		return rtroute.Polynomial, nil
+	case "rtz":
+		return rtroute.RTZStretch3, nil
+	case "hop":
+		return rtroute.HopSubstrate, nil
+	default:
+		return 0, fmt.Errorf("unknown -scheme %q (want stretch6|exstretch|poly|rtz|hop)", trafficScheme)
+	}
+}

@@ -17,6 +17,8 @@
 //	                                           # sharded cluster serving (E15/S6)
 //	rtbench -exp bench -json -out BENCH_PR6.json
 //	                                           # canonical perf suite -> trajectory artifact (E13)
+//	rtbench -exp churn -n 1024 -epochs 8 -rate 2 -packets 80000
+//	                                           # dynamic topology: seeded churn, repair, certification (E17)
 package main
 
 import (
@@ -33,7 +35,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "fig1", "experiment: fig1|fig2|fig5|fig10|space|stretch|profile|lower|ablation|traffic|cluster|bench")
+		exp    = flag.String("exp", "fig1", "experiment: fig1|fig2|fig5|fig10|space|stretch|profile|lower|ablation|traffic|cluster|bench|churn")
 		n      = flag.Int("n", 64, "number of nodes")
 		seed   = flag.Int64("seed", 1, "random seed")
 		ks     = flag.String("k", "2,3", "comma-separated tradeoff parameters")
@@ -50,6 +52,10 @@ func main() {
 	flag.IntVar(&clusterShards, "shards", 8, "cluster: number of serving shards")
 	flag.StringVar(&clusterPlacement, "placement", "contiguous", "cluster: node partition: contiguous|hash|rtz")
 	flag.IntVar(&clusterInFlight, "inflight", 0, "cluster: concurrent roundtrip window (0 = default)")
+	flag.IntVar(&churnEpochs, "epochs", 8, "churn: serve->churn->repair rounds")
+	flag.Float64Var(&churnRate, "rate", 2, "churn: topology events per 10k served packets")
+	flag.Float64Var(&churnStale, "stale-frac", 0.05, "churn: pre-repair serving window as a fraction of the epoch quota")
+	flag.BoolVar(&churnCertify, "certify", true, "churn: certify the repaired plane bit-identical to a from-scratch build every epoch")
 	flag.BoolVar(&servingTiming, "timing", false, "traffic/cluster: attach a telemetry sink and print the measured per-stage cost table")
 	flag.StringVar(&servingHTTP, "http", "", "traffic/cluster: serve live /metrics and /debug/pprof on this address during the run")
 	flag.Parse()
@@ -84,6 +90,12 @@ var (
 	clusterShards    int
 	clusterPlacement string
 	clusterInFlight  int
+
+	// -exp churn knobs.
+	churnEpochs  int
+	churnRate    float64
+	churnStale   float64
+	churnCertify bool
 
 	// serving telemetry knobs (-exp traffic and -exp cluster).
 	servingTiming bool
@@ -137,6 +149,8 @@ func run(exp string, n int, seed int64, ks []int) error {
 		return runCluster(n, seed)
 	case "bench":
 		return runBench()
+	case "churn":
+		return runChurnExp(n, seed)
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}

@@ -271,12 +271,43 @@ func (t *TCPTransport) dialPeer(to int) (*tcpConn, error) {
 		p.conn = &tcpConn{c: c}
 		p.everUp = true
 		p.lastErr = nil
+		go t.monitorPeer(to, p.conn)
 	} else {
 		c.Close() // another goroutine won the race
 	}
 	tc := p.conn
 	t.mu.Unlock()
 	return tc, nil
+}
+
+// monitorPeer is the dialed side's read loop. The protocol is symmetric,
+// so any frames the peer writes back on the link are delivered like
+// accepted-side traffic; mostly, though, the blocking Read is how peer
+// death reaches this side between writes. Without it a dead peer is only
+// discovered when a later write trips over the reset — and a send wedged
+// mid-batch against full socket buffers never gets that far. The read
+// error marks the peer down at once, and markPeerDown's conn close
+// unblocks any write in flight, so the wedged SendBatch fails typed
+// (*PeerDownError) instead of hanging.
+func (t *TCPTransport) monitorPeer(to int, tc *tcpConn) {
+	rd := bufio.NewReaderSize(tc.c, 64*1024)
+	for {
+		frame, err := readFrame(rd)
+		if err != nil {
+			select {
+			case <-t.closed:
+				return // transport shutdown, not a peer flap
+			default:
+			}
+			t.markPeerDown(to, tc, fmt.Errorf("cluster: peer link read: %w", err))
+			return
+		}
+		select {
+		case t.inbox <- []InFrame{{Data: frame}}:
+		case <-t.closed:
+			return
+		}
+	}
 }
 
 // markPeerDown transitions a link out of the up state after a write

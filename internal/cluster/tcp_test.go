@@ -239,3 +239,129 @@ func TestTCPLoopback(t *testing.T) {
 		t.Fatalf("roundtrip after hostile frames: %v", err)
 	}
 }
+
+// TestTCPPeerDeathDetectedByMonitor locks the dialed side's read loop:
+// a peer that dies must be marked down by the monitor's blocking Read —
+// with no writes issued at all — so the very first send after the death
+// fails fast and typed instead of pumping writes into a dead socket
+// until the kernel surfaces the reset. Also checks the symmetric half:
+// a frame the peer writes back on the dialed link is delivered like
+// accepted-side traffic.
+func TestTCPPeerDeathDetectedByMonitor(t *testing.T) {
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{lnA.Addr().String(), lnB.Addr().String()}
+	trA := NewTCPTransport(0, lnA, addrs)
+	defer trA.Close()
+	trB := NewTCPTransport(1, lnB, addrs)
+
+	if err := trA.Send(1, []byte("ping")); err != nil {
+		t.Fatalf("send on fresh link: %v", err)
+	}
+	got, err := trB.Recv()
+	if err != nil || string(got[0].Data) != "ping" {
+		t.Fatalf("recv on fresh link: %v %q", err, got)
+	}
+	// The peer replies on the accepted conn — the same socket as A's
+	// dialed link — and A's monitor must hand it to the inbox.
+	if err := trB.Reply(got[0].Conn, []byte("pong")); err != nil {
+		t.Fatalf("reply on accepted conn: %v", err)
+	}
+	if got, err := trA.Recv(); err != nil || string(got[0].Data) != "pong" {
+		t.Fatalf("recv on dialed link: %v %q", err, got)
+	}
+
+	// Kill the peer and issue NO sends: the monitor alone must flip the
+	// link down.
+	trB.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if downs, _ := trA.LinkStats(); downs >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("monitor never marked the dead peer down (no writes issued)")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	start := time.Now()
+	var down *PeerDownError
+	if err := trA.Send(1, []byte("ping")); !errors.As(err, &down) {
+		t.Fatalf("first send after peer death: got %v, want *PeerDownError", err)
+	}
+	if d := time.Since(start); d > tcpDialBackoff {
+		t.Fatalf("first send after peer death took %v; must fail fast", d)
+	}
+}
+
+// TestTCPPeerFlapMidBatch kills the peer while a SendBatch is wedged
+// mid-write against full socket buffers. The monitor's read error closes
+// the conn, which unblocks the in-flight write, so the wedged send must
+// return *PeerDownError promptly — never hang.
+func TestTCPPeerFlapMidBatch(t *testing.T) {
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The peer is a raw listener that accepts and never reads, so the
+	// sender's socket buffers fill and a batch write blocks in the kernel.
+	sink, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{lnA.Addr().String(), sink.Addr().String()}
+	trA := NewTCPTransport(0, lnA, addrs)
+	defer trA.Close()
+
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		if c, err := sink.Accept(); err == nil {
+			accepted <- c
+		}
+	}()
+
+	big := make([]byte, 1<<20)
+	done := make(chan error, 1)
+	go func() {
+		for {
+			if err := trA.SendBatch(1, []InFrame{{Data: big}}); err != nil {
+				done <- err
+				return
+			}
+		}
+	}()
+
+	var peerConn net.Conn
+	select {
+	case peerConn = <-accepted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sender never dialed the peer")
+	}
+	// Give the sender time to wedge against the unread socket...
+	time.Sleep(200 * time.Millisecond)
+	// ...then kill the peer mid-batch: accepted conn and listener both.
+	peerConn.Close()
+	sink.Close()
+
+	select {
+	case err := <-done:
+		var down *PeerDownError
+		if !errors.As(err, &down) {
+			t.Fatalf("mid-batch send after peer death: got %v, want *PeerDownError", err)
+		}
+		if down.Shard != 1 {
+			t.Fatalf("PeerDownError.Shard = %d, want 1", down.Shard)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("send still wedged 5s after mid-batch peer death; must fail typed, not hang")
+	}
+	if downs, _ := trA.LinkStats(); downs < 1 {
+		t.Fatalf("LinkStats peerDowns = %d after mid-batch flap, want >= 1", downs)
+	}
+}

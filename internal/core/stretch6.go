@@ -216,49 +216,14 @@ func NewStretchSix(g *graph.Graph, m graph.DistanceOracle, perm *names.Permutati
 
 	s := &StretchSix{g: g, perm: perm, sub: sub, uni: assign.U, viaSource: cfg.ViaSource, nodes: make([]*s6Table, n)}
 	nbhdSize := rtmetric.NeighborhoodSizes(n, 2)[1]
-	numBlocks := assign.U.NumBlocks()
 
 	// Per-node tables depend only on read-only shared state; fill the
 	// Init cache first, then build nodes in parallel.
 	space.Precompute(cfg.BuildWorkers)
 	err = parallel.ForEach(n, cfg.BuildWorkers, func(u int) error {
-		tab := &s6Table{
-			selfName:    perm.Name(int32(u)),
-			ownLabel:    sub.LabelOf(graph.NodeID(u)),
-			labels:      make(map[int32]rtz.Label),
-			blockHolder: make([]int32, numBlocks),
-			tab3:        sub.Tables[u],
-		}
-		for i := range tab.blockHolder {
-			tab.blockHolder[i] = -1
-		}
-		nbhd := space.Neighborhood(graph.NodeID(u), nbhdSize)
-		// (1) neighborhood dictionary.
-		for _, v := range nbhd {
-			tab.labels[perm.Name(int32(v))] = sub.LabelOf(v)
-		}
-		tab.neighborEntries = len(nbhd)
-		// (2) block holders: the Init_u-nearest holder in N(u).
-		for _, v := range nbhd {
-			for _, b := range assign.Sets[v] {
-				if tab.blockHolder[b] < 0 {
-					tab.blockHolder[b] = perm.Name(int32(v))
-				}
-			}
-		}
-		for b := 0; b < numBlocks; b++ {
-			// Blocks holding no real names need no holder; every block
-			// of a real name must be covered (Lemma 1).
-			if tab.blockHolder[b] < 0 && len(assign.U.NamesInBlock(blocks.BlockID(b))) > 0 {
-				return fmt.Errorf("core: node %d has no holder for block %d in its neighborhood", u, b)
-			}
-		}
-		// (3) dictionary entries of the blocks stored here.
-		for _, b := range assign.Sets[u] {
-			for _, nm := range assign.U.NamesInBlock(b) {
-				v := perm.Node(nm)
-				tab.labels[nm] = sub.LabelOf(graph.NodeID(v))
-			}
+		tab, err := buildS6Node(u, perm, sub, space, assign, nbhdSize)
+		if err != nil {
+			return err
 		}
 		tab.sealLabels()
 		s.nodes[u] = tab
@@ -268,6 +233,53 @@ func NewStretchSix(g *graph.Graph, m graph.DistanceOracle, perm *names.Permutati
 		return nil, err
 	}
 	return s, nil
+}
+
+// buildS6Node constructs one node's §2.1 table from the shared read-only
+// build state. It is the unit of work both the fresh builder (which then
+// seals the label map) and the incremental maintainer (which keeps it
+// patchable) run per node.
+func buildS6Node(u int, perm *names.Permutation, sub *rtz.Scheme, space *rtmetric.Space, assign *blocks.Assignment, nbhdSize int) (*s6Table, error) {
+	numBlocks := assign.U.NumBlocks()
+	tab := &s6Table{
+		selfName:    perm.Name(int32(u)),
+		ownLabel:    sub.LabelOf(graph.NodeID(u)),
+		labels:      make(map[int32]rtz.Label),
+		blockHolder: make([]int32, numBlocks),
+		tab3:        sub.Tables[u],
+	}
+	for i := range tab.blockHolder {
+		tab.blockHolder[i] = -1
+	}
+	nbhd := space.Neighborhood(graph.NodeID(u), nbhdSize)
+	// (1) neighborhood dictionary.
+	for _, v := range nbhd {
+		tab.labels[perm.Name(int32(v))] = sub.LabelOf(v)
+	}
+	tab.neighborEntries = len(nbhd)
+	// (2) block holders: the Init_u-nearest holder in N(u).
+	for _, v := range nbhd {
+		for _, b := range assign.Sets[v] {
+			if tab.blockHolder[b] < 0 {
+				tab.blockHolder[b] = perm.Name(int32(v))
+			}
+		}
+	}
+	for b := 0; b < numBlocks; b++ {
+		// Blocks holding no real names need no holder; every block
+		// of a real name must be covered (Lemma 1).
+		if tab.blockHolder[b] < 0 && len(assign.U.NamesInBlock(blocks.BlockID(b))) > 0 {
+			return nil, fmt.Errorf("core: node %d has no holder for block %d in its neighborhood", u, b)
+		}
+	}
+	// (3) dictionary entries of the blocks stored here.
+	for _, b := range assign.Sets[u] {
+		for _, nm := range assign.U.NamesInBlock(b) {
+			v := perm.Node(nm)
+			tab.labels[nm] = sub.LabelOf(graph.NodeID(v))
+		}
+	}
+	return tab, nil
 }
 
 // SchemeName implements Scheme.

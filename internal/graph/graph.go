@@ -39,6 +39,15 @@ type Dist = int64
 // int64 overflow threshold so that Inf+Inf does not wrap.
 const Inf Dist = math.MaxInt64 / 4
 
+// DownWeight marks an administratively down edge in a churning graph.
+// A down edge keeps its adjacency slot — so port labels, CSR layout and
+// neighbor lists are bit-stable across down/up flaps — but its weight is
+// pushed so high that, on a graph that stays strongly connected over the
+// live edges, no shortest path (and no shortest-path tie) ever uses it.
+// Forwarding layers treat traversing an edge of weight >= DownWeight as
+// a routing failure rather than a hop.
+const DownWeight Dist = Inf / 2
+
 // NodeID indexes a vertex. In the TINN model the *topological* index used
 // by package graph is distinct from the node's *name*; see internal/names.
 type NodeID = int32
@@ -121,6 +130,11 @@ type Graph struct {
 	// after any mutation. sealMu serializes (re)builds.
 	idx    atomic.Pointer[csrIndex]
 	sealMu sync.Mutex
+
+	// gen counts mutations. Caching layers (LazyOracle, churn
+	// maintainers) snapshot it and treat a later mismatch as "every
+	// derived row is stale".
+	gen atomic.Uint64
 }
 
 // New returns an empty graph on n nodes.
@@ -142,7 +156,15 @@ func (g *Graph) N() int { return len(g.out) }
 func (g *Graph) M() int { return g.m }
 
 // invalidate drops the sealed index after a mutation.
-func (g *Graph) invalidate() { g.idx.Store(nil) }
+func (g *Graph) invalidate() {
+	g.idx.Store(nil)
+	g.gen.Add(1)
+}
+
+// Generation returns the mutation counter: any two calls separated by a
+// mutation return different values. Derived caches key their contents to
+// the generation they were computed under.
+func (g *Graph) Generation() uint64 { return g.gen.Load() }
 
 // Seal forces the CSR lookup index to build now instead of on the first
 // port lookup. Plane compilation calls it so that the traffic engine's
@@ -383,6 +405,39 @@ func (g *Graph) MustAddEdge(u, v NodeID, w Dist) {
 	if err := g.AddEdge(u, v, w); err != nil {
 		panic(err)
 	}
+}
+
+// SetEdgeWeight changes the weight of the existing edge (u, v) in place,
+// preserving its port label and adjacency slot — the churn-plane mutation:
+// weight perturbation uses ordinary weights, edge down/up toggles between
+// the real weight and DownWeight. Weights up to and including DownWeight
+// are accepted (unlike AddEdge, which rejects anything that high).
+func (g *Graph) SetEdgeWeight(u, v NodeID, w Dist) error {
+	slot, ok := g.pair[pairKey(u, v)]
+	if !ok {
+		return fmt.Errorf("graph: no edge (%d,%d) to reweight", u, v)
+	}
+	if w <= 0 || w > DownWeight {
+		return fmt.Errorf("graph: weight %d on (%d,%d) outside (0, DownWeight]", w, u, v)
+	}
+	g.out[u][slot].Weight = w
+	for i := range g.in[v] {
+		if g.in[v][i].From == u {
+			g.in[v][i].Weight = w
+			break
+		}
+	}
+	g.invalidate()
+	return nil
+}
+
+// EdgeWeight returns the weight of the edge (u, v), if present.
+func (g *Graph) EdgeWeight(u, v NodeID) (Dist, bool) {
+	slot, ok := g.pair[pairKey(u, v)]
+	if !ok {
+		return 0, false
+	}
+	return g.out[u][slot].Weight, true
 }
 
 // HasEdge reports whether the directed edge (u, v) exists.

@@ -24,8 +24,13 @@ const DefaultLazyCacheRows = 256
 // out remain valid after eviction (eviction only drops the cache's
 // reference); callers must treat them as read-only.
 //
-// The oracle snapshots nothing: it runs Dijkstra over the live graph, so
-// mutate the graph only before handing it to an oracle.
+// The oracle snapshots nothing: it runs Dijkstra over the live graph.
+// Mutating the graph between queries is safe: every query checks the
+// graph's mutation generation and flushes rows computed under an older
+// one, so a cached row never outlives the topology it was measured on.
+// (Mutating concurrently with in-flight queries remains unsafe, exactly
+// as for the graph itself; a reader racing a mutation may observe the
+// pre-mutation row once, never a torn one.)
 type LazyOracle struct {
 	g        *Graph
 	capacity int
@@ -33,6 +38,7 @@ type LazyOracle struct {
 	mu    sync.Mutex
 	rows  map[rowKey]*rowEntry
 	lru   list.List // front = most recently used; values are *rowEntry
+	gen   uint64    // graph generation the cached rows were computed under
 	stats LazyStats
 }
 
@@ -64,6 +70,9 @@ type LazyStats struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
+	// Invalidations counts whole-cache flushes triggered by graph
+	// mutations (generation mismatches observed at query time).
+	Invalidations uint64
 	// PeakRows is the largest number of rows ever resident at once,
 	// counting rows still being computed; peak oracle memory is about
 	// PeakRows * n * 8 bytes. It can exceed the capacity by the number
@@ -111,6 +120,18 @@ func (o *LazyOracle) Stats() LazyStats {
 // Dijkstra itself runs outside the lock.
 func (o *LazyOracle) row(key rowKey) []Dist {
 	o.mu.Lock()
+	// Generation check: rows cached under an older graph generation are
+	// stale — drop the whole cache before serving. In-flight entries are
+	// unlinked too (their computation finishes and feeds earlier waiters,
+	// but no later request can hit them).
+	if gen := o.g.Generation(); gen != o.gen {
+		if o.lru.Len() > 0 {
+			o.stats.Invalidations++
+		}
+		o.rows = make(map[rowKey]*rowEntry)
+		o.lru.Init()
+		o.gen = gen
+	}
 	if e, ok := o.rows[key]; ok {
 		o.lru.MoveToFront(e.elem)
 		o.stats.Hits++

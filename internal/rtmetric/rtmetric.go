@@ -186,6 +186,19 @@ func (s *Space) Precompute(workers int) {
 	wg.Wait()
 }
 
+// InvalidateOrders drops the cached Init_v orders of the given nodes so
+// they are recomputed — against the oracle's current rows — on next
+// access. The incremental maintainers call this with the churn dirty set:
+// a node outside the may-use affected set of a topology event has
+// bit-identical distance rows in both directions, hence a bit-identical
+// Init order, so its cache entry stays valid across the mutation.
+func (s *Space) InvalidateOrders(nodes []graph.NodeID) {
+	for _, v := range nodes {
+		s.initOrders[v] = nil
+		s.ranks[v] = nil
+	}
+}
+
 // NeighborhoodSizes returns the sizes |N_i(v)| = ceil(n^(i/k)) for
 // i = 0..k, clamped to n. The paper assumes n is a perfect k-th power;
 // ceiling sizes preserve every containment the proofs use

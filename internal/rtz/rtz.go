@@ -160,6 +160,22 @@ type Scheme struct {
 // row-oriented: every oracle access is anchored at one node at a time, so
 // a bounded lazy oracle serves it without materializing n^2 distances.
 func New(g *graph.Graph, m graph.DistanceOracle, rng *rand.Rand, cfg Config) (*Scheme, error) {
+	s, err := build(g, m, rng, cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range s.Tables {
+		t.Seal()
+	}
+	return s, nil
+}
+
+// build is the shared construction body. When retain is non-nil it is a
+// maintained build: the per-center trees, center radii and cluster member
+// lists are kept for incremental updates, and the tables stay unsealed so
+// the maintainer can patch Direct entries in place. Either way the routing
+// content produced is identical.
+func build(g *graph.Graph, m graph.DistanceOracle, rng *rand.Rand, cfg Config, retain *Maintainer) (*Scheme, error) {
 	n := g.N()
 	if n < 2 {
 		return nil, fmt.Errorf("rtz: need at least 2 nodes, got %d", n)
@@ -266,23 +282,29 @@ func New(g *graph.Graph, m graph.DistanceOracle, rng *rand.Rand, cfg Config) (*S
 				members = append(members, graph.NodeID(x))
 			}
 		}
-		if len(members) == 0 {
-			continue
-		}
-		if !haveRev {
-			rev = scratch.DijkstraRev(g, yid)
-		}
-		for _, x := range members {
-			next := rev.Parent[x]
-			port, ok := g.PortTo(x, next)
-			if !ok {
-				return nil, fmt.Errorf("rtz: missing edge (%d,%d) for direct entry", x, next)
+		if len(members) > 0 {
+			if !haveRev {
+				rev = scratch.DijkstraRev(g, yid)
 			}
-			s.Tables[x].Direct[graph.NodeID(y)] = port
+			for _, x := range members {
+				next := rev.Parent[x]
+				port, ok := g.PortTo(x, next)
+				if !ok {
+					return nil, fmt.Errorf("rtz: missing edge (%d,%d) for direct entry", x, next)
+				}
+				s.Tables[x].Direct[graph.NodeID(y)] = port
+			}
+		}
+		if retain != nil {
+			retain.members[y] = members
 		}
 	}
-	for _, t := range s.Tables {
-		t.Seal()
+	if retain != nil {
+		retain.s = s
+		retain.m = m
+		retain.trees = trees
+		retain.centerRadius = centerRadius
+		retain.scratch = scratch
 	}
 	return s, nil
 }

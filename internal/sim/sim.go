@@ -13,10 +13,33 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 
 	"rtroute/internal/graph"
 )
+
+// ErrUnroutable is the sentinel for roundtrips that hit an
+// administratively down link (weight >= graph.DownWeight) before the
+// scheme maintainers caught up with the topology event. The forwarding
+// loops fail the packet immediately and typed — never traverse the dead
+// link, never hang — so the traffic plane can count it as a churn drop
+// and retry after repair. Match with errors.Is.
+var ErrUnroutable = errors.New("route crosses a down link")
+
+// UnroutableError records where a packet died on a down link. It unwraps
+// to ErrUnroutable.
+type UnroutableError struct {
+	At   graph.NodeID // node holding the stale route
+	To   graph.NodeID // unreachable neighbor across the down link
+	Hops int          // hops flown before hitting the dead link
+}
+
+func (e *UnroutableError) Error() string {
+	return fmt.Sprintf("sim: unroutable at node %d: link to %d is down (hop %d)", e.At, e.To, e.Hops)
+}
+
+func (e *UnroutableError) Unwrap() error { return ErrUnroutable }
 
 // Header is the mutable packet header a scheme reads and rewrites at each
 // node (TINN schemes require writable headers, §1.1.4).
@@ -142,6 +165,9 @@ func fly(g *graph.Graph, f Forwarder, src graph.NodeID, h Header, maxHops int, p
 		if !ok {
 			return fl, fmt.Errorf("sim: node %d has no out-port %d", cur, port)
 		}
+		if e.Weight >= graph.DownWeight {
+			return fl, &UnroutableError{At: cur, To: e.To, Hops: fl.Hops}
+		}
 		fl.Weight += e.Weight
 		cur = e.To
 		fl.Last = cur
@@ -202,6 +228,9 @@ func FlySegment(g *graph.Graph, f Forwarder, h Header, fl *Flight, maxHops int, 
 		if !ok {
 			return false, fmt.Errorf("sim: node %d has no out-port %d", cur, port)
 		}
+		if e.Weight >= graph.DownWeight {
+			return false, &UnroutableError{At: cur, To: e.To, Hops: fl.Hops}
+		}
 		fl.Weight += e.Weight
 		cur = e.To
 		fl.Last = cur
@@ -261,6 +290,9 @@ func (r *SegmentRunner) Fly(h Header, fl *Flight) (delivered bool, err error) {
 		if !ok {
 			return false, fmt.Errorf("sim: node %d has no out-port %d", cur, port)
 		}
+		if e.Weight >= graph.DownWeight {
+			return false, &UnroutableError{At: cur, To: e.To, Hops: fl.Hops}
+		}
 		fl.Weight += e.Weight
 		cur = e.To
 		fl.Last = cur
@@ -307,6 +339,9 @@ func (r *SegmentRunner) FlyHooked(h Header, fl *Flight, hook HopHook) (delivered
 		e, ok := r.ports.EdgeByPort(cur, port)
 		if !ok {
 			return false, fmt.Errorf("sim: node %d has no out-port %d", cur, port)
+		}
+		if e.Weight >= graph.DownWeight {
+			return false, &UnroutableError{At: cur, To: e.To, Hops: fl.Hops}
 		}
 		fl.Weight += e.Weight
 		cur = e.To

@@ -1,0 +1,256 @@
+package rtroute
+
+import (
+	"math/rand"
+	"testing"
+
+	"rtroute/internal/churn"
+	"rtroute/internal/graph"
+)
+
+// churnSystem builds a lazy-oracle System over a random SC graph that
+// the test can mutate.
+func churnSystem(t *testing.T, n int, seed int64) *System {
+	t.Helper()
+	g := graph.RandomSC(n, 3*n, 64, rand.New(rand.NewSource(seed)))
+	sys, err := NewSystemWith(g, nil, SystemConfig{Metric: MetricLazy})
+	if err != nil {
+		t.Fatalf("system: %v", err)
+	}
+	return sys
+}
+
+// allNodes returns [0, n).
+func allNodes(n int) []NodeID {
+	all := make([]NodeID, n)
+	for i := range all {
+		all[i] = NodeID(i)
+	}
+	return all
+}
+
+// TestMaintainedRequiresLazyOracle locks the oracle guard: a dense
+// metric is frozen at build time and must be rejected.
+func TestMaintainedRequiresLazyOracle(t *testing.T) {
+	g := graph.RandomSC(16, 32, 32, rand.New(rand.NewSource(1)))
+	sys, err := NewSystem(g, nil)
+	if err != nil {
+		t.Fatalf("system: %v", err)
+	}
+	if _, err := sys.BuildMaintained(StretchSix, WithSeed(7)); err == nil {
+		t.Fatalf("BuildMaintained accepted a dense (frozen) oracle")
+	}
+}
+
+// TestRebuildAllMatchesFreshBuild is the satellite property test: after
+// arbitrary topology mutations, RebuildNodes over ALL nodes must yield a
+// plane bit-identical to a from-scratch Build on the mutated graph, for
+// every scheme kind.
+func TestRebuildAllMatchesFreshBuild(t *testing.T) {
+	kinds := []struct {
+		name string
+		kind SchemeKind
+	}{
+		{"stretch6", StretchSix},
+		{"exstretch", ExStretch},
+		{"poly", Polynomial},
+		{"rtz", RTZStretch3},
+		{"hop", HopSubstrate},
+	}
+	for _, tc := range kinds {
+		t.Run(tc.name, func(t *testing.T) {
+			const n = 40
+			sys := churnSystem(t, n, 0xC0FFEE+int64(tc.kind))
+			m, err := sys.BuildMaintained(tc.kind, WithSeed(42))
+			if err != nil {
+				t.Fatalf("BuildMaintained: %v", err)
+			}
+			if err := m.Certify(); err != nil {
+				t.Fatalf("pre-churn certification: %v", err)
+			}
+
+			ov, err := churn.NewOverlay(sys.Graph, churn.NewDamper(churn.DamperConfig{}))
+			if err != nil {
+				t.Fatalf("overlay: %v", err)
+			}
+			model := churn.NewModel(ov, 99, 1.0, churn.DefaultMix, 64)
+			for i := 0; i < 6; i++ {
+				ev := model.Next()
+				if _, err := ov.Apply(ev); err != nil {
+					t.Fatalf("apply %v: %v", ev, err)
+				}
+			}
+
+			if _, err := m.RebuildNodes(allNodes(n)); err != nil {
+				t.Fatalf("RebuildNodes(all): %v", err)
+			}
+			if err := m.Certify(); err != nil {
+				t.Fatalf("post-churn certification: %v", err)
+			}
+		})
+	}
+}
+
+// TestIncrementalMatchesFreshUnderEventFuzz drives random event
+// sequences through the churn model and, after every event, delta-
+// rebuilds only the event's may-use affected set — then certifies the
+// maintained plane bit-identical to a from-scratch build. This is the
+// core incremental-maintenance contract for the two kinds with a real
+// delta path.
+func TestIncrementalMatchesFreshUnderEventFuzz(t *testing.T) {
+	kinds := []struct {
+		name string
+		kind SchemeKind
+	}{
+		{"stretch6", StretchSix},
+		{"rtz", RTZStretch3},
+	}
+	for _, tc := range kinds {
+		t.Run(tc.name, func(t *testing.T) {
+			for run := int64(0); run < 3; run++ {
+				const n = 32
+				sys := churnSystem(t, n, 1000+run)
+				m, err := sys.BuildMaintained(tc.kind, WithSeed(7+run))
+				if err != nil {
+					t.Fatalf("run %d: BuildMaintained: %v", run, err)
+				}
+				ov, err := churn.NewOverlay(sys.Graph, churn.NewDamper(churn.DamperConfig{}))
+				if err != nil {
+					t.Fatalf("run %d: overlay: %v", run, err)
+				}
+				model := churn.NewModel(ov, 500+run, 1.0, churn.DefaultMix, 64)
+				for i := 0; i < 10; i++ {
+					ev := model.Next()
+					dirty, err := ov.Apply(ev)
+					if err != nil {
+						t.Fatalf("run %d event %d (%v): %v", run, i, ev, err)
+					}
+					rep, err := m.RebuildNodes(dirty)
+					if err != nil {
+						t.Fatalf("run %d event %d: RebuildNodes: %v", run, i, err)
+					}
+					if rep.DirtyNodes != len(dirty) {
+						t.Fatalf("run %d event %d: report dirty %d, want %d", run, i, rep.DirtyNodes, len(dirty))
+					}
+					if err := m.Certify(); err != nil {
+						t.Fatalf("run %d event %d (%v, %d dirty): %v", run, i, ev, len(dirty), err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestModelReplayDeterminism locks the replayability contract: two
+// models over identical overlays with the same (seed, rate, mix) emit
+// identical event sequences.
+func TestModelReplayDeterminism(t *testing.T) {
+	mk := func() (*churn.Overlay, *churn.Model) {
+		g := graph.RandomSC(24, 72, 64, rand.New(rand.NewSource(5)))
+		ov, err := churn.NewOverlay(g, churn.NewDamper(churn.DamperConfig{}))
+		if err != nil {
+			t.Fatalf("overlay: %v", err)
+		}
+		return ov, churn.NewModel(ov, 31337, 2.0, churn.DefaultMix, 64)
+	}
+	ovA, a := mk()
+	ovB, b := mk()
+	for i := 0; i < 200; i++ {
+		ea, eb := a.Next(), b.Next()
+		if ea != eb {
+			t.Fatalf("event %d diverged: %v vs %v", i, ea, eb)
+		}
+		da, errA := ovA.Apply(ea)
+		db, errB := ovB.Apply(eb)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("event %d: apply errors diverged: %v vs %v", i, errA, errB)
+		}
+		if len(da) != len(db) {
+			t.Fatalf("event %d: dirty sets diverged: %d vs %d", i, len(da), len(db))
+		}
+		for j := range da {
+			if da[j] != db[j] {
+				t.Fatalf("event %d: dirty[%d] = %d vs %d", i, j, da[j], db[j])
+			}
+		}
+	}
+}
+
+// TestAffectedSetIsSound checks the may-use affected set against brute
+// force: every node whose distance row (either direction) changes under
+// a reweight must be in the set.
+func TestAffectedSetIsSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		g := graph.RandomSC(20, 60, 32, rng)
+		n := g.N()
+		// Pick an arbitrary edge.
+		var u, v NodeID
+		for {
+			u = NodeID(rng.Intn(n))
+			out := g.Out(u)
+			if len(out) > 0 {
+				v = out[rng.Intn(len(out))].To
+				break
+			}
+		}
+		before := make([]*graph.SSSP, n)
+		beforeRev := make([]*graph.SSSP, n)
+		for i := 0; i < n; i++ {
+			f, r := graph.Dijkstra(g, NodeID(i)), graph.DijkstraRev(g, NodeID(i))
+			before[i], beforeRev[i] = &f, &r
+		}
+		wNew := graph.Dist(1 + rng.Int63n(64))
+		dirty := churn.Affected(g, u, v, wNew) // mutates g
+		inDirty := make(map[NodeID]bool, len(dirty))
+		for _, x := range dirty {
+			inDirty[x] = true
+		}
+		for i := 0; i < n; i++ {
+			x := NodeID(i)
+			after, afterRev := graph.Dijkstra(g, x), graph.DijkstraRev(g, x)
+			changed := false
+			for j := 0; j < n; j++ {
+				if after.Dist[j] != before[i].Dist[j] || afterRev.Dist[j] != beforeRev[i].Dist[j] {
+					changed = true
+					break
+				}
+			}
+			if changed && !inDirty[x] {
+				t.Fatalf("trial %d: node %d's rows changed under reweight (%d,%d)->%d but is not in the affected set",
+					trial, x, u, v, wNew)
+			}
+		}
+	}
+}
+
+// TestRunChurnSmoke runs the full epoch loop — events, stale window,
+// repair, certification, post-repair serving — at test scale.
+func TestRunChurnSmoke(t *testing.T) {
+	sys := churnSystem(t, 64, 42)
+	res, err := RunChurn(sys, ChurnConfig{
+		Kind:            StretchSix,
+		Build:           BuildConfig{Seed: 7},
+		ChurnSeed:       1234,
+		Rate:            4,
+		Epochs:          3,
+		PacketsPerEpoch: 400,
+		Certify:         true,
+		Workers:         4,
+	})
+	if err != nil {
+		t.Fatalf("RunChurn: %v", err)
+	}
+	if res.TotalRepairs != 3 {
+		t.Fatalf("repairs = %d, want 3", res.TotalRepairs)
+	}
+	if res.TotalServed == 0 {
+		t.Fatalf("no roundtrips served")
+	}
+	for _, ep := range res.Epochs {
+		if ep.PostDrops != 0 {
+			t.Fatalf("epoch %d: %d drops on repaired tables", ep.Epoch, ep.PostDrops)
+		}
+	}
+	t.Logf("\n%s", res.Format())
+}
