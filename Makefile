@@ -6,7 +6,7 @@ BENCH_PATTERN ?= Dijkstra|EdgeByPort|MetricBuild|TrafficThroughput
 COUNT ?= 5
 OUT ?= bench-new.txt
 
-.PHONY: all build test verify race short large bench bench-smoke bench-json benchcmp fmt vet lint ci traffic traffic-large cluster obs churn docs fuzz-smoke sizes
+.PHONY: all build test verify race short large bench bench-smoke bench-json benchcmp fmt vet lint ci traffic traffic-large cluster obs churn churn-cluster docs fuzz-smoke sizes
 
 all: verify
 
@@ -26,6 +26,7 @@ fuzz-smoke:
 	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzUnmarshalHeader -fuzztime 5s
 	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzUnmarshalFrame -fuzztime 5s
 	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzUnmarshalFlightFrame -fuzztime 5s
+	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzUnmarshalChurnFrame -fuzztime 5s
 
 # E14 space certification: per-node encoded bytes across n=256..4096
 # (also: rtroute -sizes).
@@ -82,6 +83,18 @@ churn:
 	$(GO) test -race -run 'TestRunChurnSmoke|TestIncrementalMatchesFreshUnderEventFuzz|TestRebuildAllMatchesFreshBuild|TestModelReplayDeterminism|TestAffectedSetIsSound' .
 	$(GO) test -race -run 'TestTCPPeerDeathDetectedByMonitor|TestTCPPeerFlapMidBatch' ./internal/cluster
 
+# Cluster-churn smoke (E19) under the race detector: churn events ride
+# the fabric as wire frames, every shard repairs its owned slice behind
+# its epoch fence while serving, each batch certified bit-identical to a
+# from-scratch build — plus the reordering adversary, the bounded
+# affected-set soundness property, the churn-frame golden/codec units,
+# and the mid-repair peer-death / poisoned-repair TCP tests.
+churn-cluster:
+	$(GO) run -race ./cmd/rtbench -exp churncluster -n 96 -shards 8 -epochs 3 -events 3 -packets 9000 -seed 1
+	$(GO) test -race -run 'TestClusterChurnMatchesSequential|TestClusterChurnUnderReorderingAdversary|TestBoundedAffectedSetSupersetOfExact' .
+	$(GO) test -race -run 'TestTCPPeerDeathMidRepair|TestRepairFailurePoisonsShard' ./internal/cluster
+	$(GO) test -race -run 'TestChurnEventFrameGolden' ./internal/wire
+
 # Docs gate: README/DESIGN Go fences must parse (gofmt-clean when
 # written as complete files) and relative links must resolve.
 docs:
@@ -116,4 +129,4 @@ vet:
 
 lint: fmt vet
 
-ci: lint build race traffic cluster obs churn docs bench-smoke fuzz-smoke
+ci: lint build race traffic cluster obs churn churn-cluster docs bench-smoke fuzz-smoke

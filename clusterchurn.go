@@ -1,0 +1,780 @@
+package rtroute
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rtroute/internal/churn"
+	"rtroute/internal/cluster"
+	"rtroute/internal/core"
+	"rtroute/internal/sim"
+	"rtroute/internal/traffic"
+	"rtroute/internal/wire"
+)
+
+// ChurnClusterConfig parameterizes one RunChurnCluster experiment:
+// seeded churn absorbed by a serving shard fabric, with online per-shard
+// repair behind epoch fences and bit-identity certification against a
+// reference replica after every event batch.
+type ChurnClusterConfig struct {
+	// Kind selects the maintained scheme (default StretchSix).
+	Kind SchemeKind
+	// Build is the scheme construction config; every shard replica and
+	// the reference build from the same seed, so their planes start
+	// bit-identical.
+	Build BuildConfig
+	// Shards is the fabric width (default 8).
+	Shards int
+	// Workers is each shard's serving pool size (default 1).
+	Workers int
+	// Placement selects the node partition (default Contiguous).
+	Placement PlacementPolicy
+	// ChurnSeed seeds the event model (independent of Build.Seed).
+	ChurnSeed int64
+	// Rate is the Poisson clock intensity the event timestamps advance
+	// with (default 1); it paces the flap damper, not the experiment.
+	Rate float64
+	// Batches is the number of churn->repair->certify rounds (default 4).
+	Batches int
+	// EventsPerBatch is the number of topology events per batch
+	// (default 4).
+	EventsPerBatch int
+	// FirePackets is the number of roundtrips issued concurrently with
+	// each batch's repair — the under-fire serving window (default 2000).
+	FirePackets int64
+	// StablePackets is the post-repair serving quota per batch, replayed
+	// sequentially on the reference plane for exact-totals comparison
+	// (default 2000).
+	StablePackets int64
+	// Mix weights the event kinds (zero value = DefaultChurnMix).
+	Mix ChurnMix
+	// MaxWeight bounds weight-change draws (default 64).
+	MaxWeight Dist
+	// MinWeight, when > 0, floors weight-change draws.
+	MinWeight Dist
+	// Damper tunes the per-link flap damper (zero value = defaults).
+	Damper DamperOptions
+	// MaxHops bounds each leg (0 = sim's default 4n budget).
+	MaxHops int
+	// InFlight caps concurrently live roundtrips (default 512).
+	InFlight int
+	// Batch bounds one mailbox dequeue (default 64).
+	Batch int
+	// Workload selects the pair distribution (zero value = uniform).
+	Workload TrafficWorkload
+	// Certify additionally certifies the reference replica against a
+	// from-scratch build after every batch, making the per-shard slice
+	// comparison transitively a from-scratch certification. Costs a full
+	// build per batch.
+	Certify bool
+	// Sink, when non-nil, attaches the telemetry plane; its shape must
+	// match Shards x Workers (cluster.Config.SinkShape). The driver
+	// registers churn_cluster_* gauges on it.
+	Sink *TelemetrySink
+	// wrapEndpoint, when non-nil, wraps each shard's transport endpoint
+	// — the test hook the reordering-adversary certification uses to
+	// shuffle deliveries, churn frames included.
+	wrapEndpoint func(shard int, tr cluster.Transport) cluster.Transport
+}
+
+func (cfg *ChurnClusterConfig) fill() {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 8
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = 1
+	}
+	if cfg.Batches <= 0 {
+		cfg.Batches = 4
+	}
+	if cfg.EventsPerBatch <= 0 {
+		cfg.EventsPerBatch = 4
+	}
+	if cfg.FirePackets <= 0 {
+		cfg.FirePackets = 2000
+	}
+	if cfg.StablePackets <= 0 {
+		cfg.StablePackets = 2000
+	}
+	if cfg.MaxWeight <= 0 {
+		cfg.MaxWeight = 64
+	}
+	if cfg.InFlight <= 0 {
+		cfg.InFlight = 512
+	}
+	if cfg.Mix == (ChurnMix{}) {
+		cfg.Mix = DefaultChurnMix
+	}
+	if cfg.Build.K == 0 {
+		cfg.Build.K = 2
+	}
+}
+
+// ChurnClusterBatch accounts one churn->repair->certify round.
+type ChurnClusterBatch struct {
+	Batch         int     `json:"batch"`
+	Events        int     `json:"events"`
+	Dirty         int     `json:"dirty"`
+	DirtyFrac     float64 `json:"dirty_frac"`
+	FireIssued    int64   `json:"fire_issued"`
+	FireServed    int64   `json:"fire_served"`
+	FireDrops     int64   `json:"fire_drops"`
+	FireMisroutes int64   `json:"fire_misroutes"`
+	FireNs        int64   `json:"fire_ns"`
+	RepairNsMean  int64   `json:"repair_ns_mean"`
+	RepairNsMax   int64   `json:"repair_ns_max"`
+	CertifyNs     int64   `json:"certify_ns"`
+	StableIssued  int64   `json:"stable_issued"`
+	StableNs      int64   `json:"stable_ns"`
+}
+
+// ChurnClusterResult aggregates one RunChurnCluster experiment (E19).
+type ChurnClusterResult struct {
+	Kind      string              `json:"kind"`
+	Nodes     int                 `json:"nodes"`
+	Shards    int                 `json:"shards"`
+	Workers   int                 `json:"workers"`
+	Placement string              `json:"placement"`
+	BatchRows []ChurnClusterBatch `json:"batches"`
+	// Accounting identity: Issued == Served + Drops + Misroutes, i.e.
+	// zero hung roundtrips. RunChurnCluster fails rather than return a
+	// result violating it.
+	Issued    int64 `json:"issued"`
+	Served    int64 `json:"served"`
+	Drops     int64 `json:"drops"`
+	Misroutes int64 `json:"misroutes"`
+	// Repairs counts per-shard repair passes (Shards x Batches).
+	Repairs      int64 `json:"repairs"`
+	RepairNsMean int64 `json:"repair_ns_mean"`
+	RepairNsMax  int64 `json:"repair_ns_max"`
+	// FireRTPerSec is serving throughput while repairs run; StableRTPerSec
+	// the post-repair baseline — the during/off-repair pair.
+	FireRTPerSec   float64 `json:"fire_rt_per_sec"`
+	StableRTPerSec float64 `json:"stable_rt_per_sec"`
+	CrossShard     int64   `json:"cross_shard_frames"`
+	Certified      bool    `json:"certified"`
+	FromScratch    bool    `json:"from_scratch_certified"`
+	ElapsedNs      int64   `json:"elapsed_ns"`
+}
+
+type ccPair struct{ src, dst int32 }
+
+// ccReplica is one shard's private copy of the world: its own graph
+// clone, maintained plane, churn overlay and deployment. Nothing below
+// the wire is shared between shards, so a repair is a genuinely local
+// act — exactly the regime the paper's per-node tables are for.
+type ccReplica struct {
+	m    *Maintained
+	ov   *churn.Overlay
+	dep  *core.Deployment
+	view *core.ShardView
+	sh   *cluster.Shard
+	seen []bool // dirty-union scratch, repairs are serialized per shard
+}
+
+type ccRun struct {
+	cfg    ChurnClusterConfig
+	n      int
+	refM   *Maintained
+	refOv  *churn.Overlay
+	refDep *core.Deployment
+	model  *churn.Model
+	place  *cluster.Placement
+	nodeOf []NodeID // name -> node, churn-invariant (the paper's TINNs)
+	reps   []*ccReplica
+	bus    *cluster.ChanBus
+	window *cluster.Window
+	wake   chan struct{}
+
+	issued       int64 // driver-thread only
+	rt           uint64
+	served       atomic.Int64
+	drops        atomic.Int64
+	misroutes    atomic.Int64
+	servedHops   atomic.Int64
+	servedWeight atomic.Int64
+	acks         atomic.Int64
+	dirtyBits    atomic.Uint64 // Float64bits of the last batch's dirty fraction
+
+	mu       sync.Mutex
+	firstErr error
+}
+
+func (r *ccRun) wakeup() {
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (r *ccRun) abort(err error) {
+	r.mu.Lock()
+	if r.firstErr == nil && err != nil {
+		r.firstErr = err
+	}
+	r.mu.Unlock()
+	r.bus.Close()
+	r.wakeup()
+}
+
+func (r *ccRun) err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.firstErr
+}
+
+// RunChurnCluster drives seeded churn through a serving shard fabric:
+// every shard holds a full replica of the scheme built from the same
+// seed (bit-identical planes), and each event batch is broadcast as a
+// churn frame. A shard applies the batch to its own overlay and rebuilds
+// only the intersection of the affected set with its owned nodes —
+// concurrently with serving, behind its epoch fence, so in-flight
+// roundtrips complete on stale-but-live routes or fail typed, never
+// hang. After every batch the run certifies each shard's owned table
+// slice bit-identical to a reference replica repaired the classic way
+// (and, with Certify, to a from-scratch build), then serves a stable
+// window whose hop and weight totals must match a sequential replay on
+// the reference plane exactly.
+func RunChurnCluster(sys *System, cfg ChurnClusterConfig) (*ChurnClusterResult, error) {
+	cfg.fill()
+	n := sys.Graph.N()
+
+	// Reference replica: the certification oracle and sequential-replay
+	// plane. It sees the same events and repairs with the full affected
+	// set (no ownership filter).
+	refM, err := sys.BuildMaintained(cfg.Kind, func(c *BuildConfig) { *c = cfg.Build })
+	if err != nil {
+		return nil, err
+	}
+	refOv, err := churn.NewOverlay(sys.Graph, churn.NewDamper(cfg.Damper))
+	if err != nil {
+		return nil, err
+	}
+	model := churn.NewModel(refOv, cfg.ChurnSeed, cfg.Rate, cfg.Mix, cfg.MaxWeight)
+	if cfg.MinWeight > 0 {
+		model.SetMinWeight(cfg.MinWeight)
+	}
+	refDep := core.NewDeployment(refM.Plane(), cfg.Kind)
+	place, err := cluster.NewPlacement(refDep, cfg.Shards, cfg.Placement)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &ccRun{
+		cfg: cfg, n: n,
+		refM: refM, refOv: refOv, refDep: refDep, model: model, place: place,
+		bus:    cluster.NewChanBus(cfg.Shards, cfg.InFlight+cfg.Shards),
+		window: cluster.NewWindow(cfg.InFlight),
+		wake:   make(chan struct{}, 1),
+	}
+	// Snapshot the name->node map: topology-independent names never move
+	// under churn, but reading it through refDep would race with the
+	// driver rebinding the reference plane mid-fire.
+	r.nodeOf = make([]NodeID, n)
+	for name := int32(0); name < int32(n); name++ {
+		r.nodeOf[name] = refDep.NodeOf(name)
+	}
+
+	// Per-shard replicas: clone the pristine graph, rebuild the same
+	// plane from the same seed, wrap a private overlay. Built before any
+	// churn so every replica starts from the reference's exact state.
+	r.reps = make([]*ccReplica, cfg.Shards)
+	for i := range r.reps {
+		gi := sys.Graph.Clone()
+		si, err := NewSystemWith(gi, sys.Naming, SystemConfig{Metric: MetricLazy})
+		if err != nil {
+			return nil, fmt.Errorf("rtroute: shard %d replica: %w", i, err)
+		}
+		mi, err := si.BuildMaintained(cfg.Kind, func(c *BuildConfig) { *c = cfg.Build })
+		if err != nil {
+			return nil, fmt.Errorf("rtroute: shard %d replica: %w", i, err)
+		}
+		ovi, err := churn.NewOverlay(gi, churn.NewDamper(cfg.Damper))
+		if err != nil {
+			return nil, fmt.Errorf("rtroute: shard %d overlay: %w", i, err)
+		}
+		depi := core.NewDeployment(mi.Plane(), cfg.Kind)
+		viewi, err := depi.ShardView(i, place.Owner)
+		if err != nil {
+			return nil, fmt.Errorf("rtroute: shard %d view: %w", i, err)
+		}
+		rep := &ccReplica{m: mi, ov: ovi, dep: depi, view: viewi, seen: make([]bool, n)}
+		tr := cluster.Transport(r.bus.Endpoint(i))
+		if cfg.wrapEndpoint != nil {
+			tr = cfg.wrapEndpoint(i, tr)
+		}
+		rep.sh = cluster.NewShard(viewi, place, tr, cluster.Options{
+			Workers: cfg.Workers, Batch: cfg.Batch, MaxHops: cfg.MaxHops,
+			Strict: true,
+			OnDone: func(f *wire.Frame) {
+				r.servedHops.Add(int64(f.Out.Hops) + int64(f.Back.Hops))
+				r.servedWeight.Add(int64(f.Out.Weight) + int64(f.Back.Weight))
+				r.served.Add(1)
+				r.window.Put(1)
+				r.wakeup()
+			},
+			OnLost: func(f *wire.Frame, reason byte) {
+				if reason == wire.DropMisroute {
+					r.misroutes.Add(1)
+				} else {
+					r.drops.Add(1)
+				}
+				r.window.Put(1)
+				r.wakeup()
+			},
+			Repair: r.repairFor(rep),
+			OnRepaired: func(seq uint64) {
+				r.acks.Add(1)
+				r.wakeup()
+			},
+			Sink: cfg.Sink, SinkShard: i,
+		})
+		r.reps[i] = rep
+	}
+	r.registerGauges()
+
+	wl, err := traffic.NewWorkload(cfg.Workload, n, cfg.Build.Seed^cfg.ChurnSeed)
+	if err != nil {
+		return nil, err
+	}
+	gen := wl.Generator(0)
+
+	var wg sync.WaitGroup
+	for _, rep := range r.reps {
+		wg.Add(1)
+		go func(sh *cluster.Shard) {
+			defer wg.Done()
+			if err := sh.Serve(); err != nil {
+				r.abort(err)
+			}
+		}(rep.sh)
+	}
+
+	res := &ChurnClusterResult{
+		Kind: cfg.Kind.String(), Nodes: n, Shards: cfg.Shards, Workers: cfg.Workers,
+		Placement: string(place.Policy), FromScratch: cfg.Certify,
+	}
+	start := time.Now()
+	runErr := r.drive(gen, res)
+	r.bus.Close()
+	wg.Wait()
+	if runErr == nil {
+		runErr = r.err()
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	res.ElapsedNs = int64(time.Since(start))
+	res.Issued = r.issued
+	res.Served = r.served.Load()
+	res.Drops = r.drops.Load()
+	res.Misroutes = r.misroutes.Load()
+	if res.Served+res.Drops+res.Misroutes != res.Issued {
+		return nil, fmt.Errorf("rtroute: accounting identity broken: issued %d != served %d + drops %d + misroutes %d",
+			res.Issued, res.Served, res.Drops, res.Misroutes)
+	}
+	var fireNs, stableNs, fireIssued, stableIssued int64
+	for _, row := range res.BatchRows {
+		fireNs += row.FireNs
+		stableNs += row.StableNs
+		fireIssued += row.FireIssued
+		stableIssued += row.StableIssued
+		if row.RepairNsMax > res.RepairNsMax {
+			res.RepairNsMax = row.RepairNsMax
+		}
+	}
+	if fireNs > 0 {
+		res.FireRTPerSec = float64(fireIssued) / (float64(fireNs) / 1e9)
+	}
+	if stableNs > 0 {
+		res.StableRTPerSec = float64(stableIssued) / (float64(stableNs) / 1e9)
+	}
+	var repairNanos int64
+	for _, rep := range r.reps {
+		_, _, reps, nanos := rep.sh.ChurnStats()
+		res.Repairs += reps
+		repairNanos += nanos
+		st := rep.sh.Stats()
+		res.CrossShard += st.FramesOut
+	}
+	if res.Repairs > 0 {
+		res.RepairNsMean = repairNanos / res.Repairs
+	}
+	res.Certified = true
+	return res, nil
+}
+
+// repairFor builds shard rep's Repair hook: apply the batch to the
+// shard's private overlay, rebuild the affected set intersected with
+// the shard's owned nodes, and rebind the deployment to the (possibly
+// swapped) plane. The shard calls it under its epoch fence with batches
+// in sequence order.
+func (r *ccRun) repairFor(rep *ccReplica) func(uint64, []churn.Event) error {
+	return func(seq uint64, events []churn.Event) error {
+		var dirty []NodeID
+		add := func(ds []NodeID) {
+			for _, d := range ds {
+				if !rep.seen[d] {
+					rep.seen[d] = true
+					dirty = append(dirty, d)
+				}
+			}
+		}
+		var at float64
+		for _, ev := range events {
+			ds, err := rep.ov.Apply(ev)
+			if err != nil {
+				return fmt.Errorf("cluster churn batch %d: %w", seq, err)
+			}
+			add(ds)
+			at = ev.At
+		}
+		released, err := rep.ov.Advance(at)
+		if err != nil {
+			return fmt.Errorf("cluster churn batch %d: %w", seq, err)
+		}
+		add(released)
+		for _, d := range dirty {
+			rep.seen[d] = false
+		}
+		churn.SortNodeIDs(dirty)
+		if _, err := rep.m.RebuildNodesFor(dirty, rep.view.Owns); err != nil {
+			return fmt.Errorf("cluster churn batch %d: %w", seq, err)
+		}
+		rep.dep.Rebind(rep.m.Plane())
+		return nil
+	}
+}
+
+func (r *ccRun) registerGauges() {
+	sink := r.cfg.Sink
+	sink.RegisterGauge("churn_cluster_drops_total", func() float64 { return float64(r.drops.Load()) })
+	sink.RegisterGauge("churn_cluster_misroutes_total", func() float64 { return float64(r.misroutes.Load()) })
+	sink.RegisterGauge("churn_cluster_repairs_total", func() float64 { return float64(r.acks.Load()) })
+	sink.RegisterGauge("churn_cluster_dirty_frac", func() float64 { return math.Float64frombits(r.dirtyBits.Load()) })
+	sink.RegisterGauge("churn_cluster_repair_ns_mean", func() float64 {
+		var count, nanos int64
+		for _, rep := range r.reps {
+			_, _, c, ns := rep.sh.ChurnStats()
+			count += c
+			nanos += ns
+		}
+		if count == 0 {
+			return 0
+		}
+		return float64(nanos) / float64(count)
+	})
+}
+
+// drive runs the batch loop: draw events -> fire (serve while the
+// fabric repairs) -> certify -> stable window with sequential-replay
+// totals.
+func (r *ccRun) drive(gen traffic.Generator, res *ChurnClusterResult) error {
+	prevRepairs := make([]int64, r.cfg.Shards)
+	prevNanos := make([]int64, r.cfg.Shards)
+	for b := 0; b < r.cfg.Batches; b++ {
+		seq := uint64(b + 1)
+		row := ChurnClusterBatch{Batch: b}
+
+		// Draw the batch from the model and apply it to the reference
+		// overlay; the same events ride the wire to every shard.
+		events := make([]churn.Event, 0, r.cfg.EventsPerBatch)
+		var dirty []NodeID
+		seen := make([]bool, r.n)
+		add := func(ds []NodeID) {
+			for _, d := range ds {
+				if !seen[d] {
+					seen[d] = true
+					dirty = append(dirty, d)
+				}
+			}
+		}
+		var at float64
+		for i := 0; i < r.cfg.EventsPerBatch; i++ {
+			ev := r.model.Next()
+			events = append(events, ev)
+			ds, err := r.refOv.Apply(ev)
+			if err != nil {
+				return fmt.Errorf("rtroute: batch %d: %w", b, err)
+			}
+			add(ds)
+			at = ev.At
+		}
+		released, err := r.refOv.Advance(at)
+		if err != nil {
+			return fmt.Errorf("rtroute: batch %d: %w", b, err)
+		}
+		add(released)
+		churn.SortNodeIDs(dirty)
+		row.Events = len(events)
+		row.Dirty = len(dirty)
+		row.DirtyFrac = float64(len(dirty)) / float64(r.n)
+		r.dirtyBits.Store(math.Float64bits(row.DirtyFrac))
+
+		// Fire phase: inject a serving window concurrently with the churn
+		// broadcast and the repairs it triggers. Pairs avoid endpoints the
+		// events killed; everything else is fair game mid-repair.
+		firePairs := r.drawPairs(gen, r.cfg.FirePackets)
+		served0, drops0, miss0 := r.served.Load(), r.drops.Load(), r.misroutes.Load()
+		ackTarget := int64((b + 1) * r.cfg.Shards)
+		fire0 := time.Now()
+		injected := make(chan error, 1)
+		go func() { injected <- r.issue(firePairs) }()
+		for i := 0; i < r.cfg.Shards; i++ {
+			// Each shard gets its own buffer: the transport owns delivered
+			// bytes (shards recycle them into their frame pools).
+			if err := r.bus.Send(i, wire.AppendChurnFrame(nil, seq, events)); err != nil {
+				<-injected
+				return fmt.Errorf("rtroute: churn broadcast: %w", err)
+			}
+		}
+		// The reference repairs on the driver thread while the fabric
+		// serves under fire.
+		if _, err := r.refM.RebuildNodes(dirty); err != nil {
+			<-injected
+			return fmt.Errorf("rtroute: reference repair: %w", err)
+		}
+		r.refDep.Rebind(r.refM.Plane())
+		if err := <-injected; err != nil {
+			return err
+		}
+		r.issued += int64(len(firePairs))
+		if err := r.waitAccounted(r.issued, ackTarget, fmt.Sprintf("batch %d fire", b)); err != nil {
+			return err
+		}
+		row.FireNs = int64(time.Since(fire0))
+		row.FireIssued = int64(len(firePairs))
+		row.FireServed = r.served.Load() - served0
+		row.FireDrops = r.drops.Load() - drops0
+		row.FireMisroutes = r.misroutes.Load() - miss0
+		var repairSum, repairMax int64
+		for i, rep := range r.reps {
+			_, _, reps, nanos := rep.sh.ChurnStats()
+			d := nanos - prevNanos[i]
+			if reps != prevRepairs[i]+1 {
+				return fmt.Errorf("rtroute: batch %d: shard %d ran %d repairs, expected %d", b, i, reps, prevRepairs[i]+1)
+			}
+			prevRepairs[i], prevNanos[i] = reps, nanos
+			repairSum += d
+			if d > repairMax {
+				repairMax = d
+			}
+		}
+		row.RepairNsMean = repairSum / int64(r.cfg.Shards)
+		row.RepairNsMax = repairMax
+
+		// Certification: every shard's owned slice of the plane must be
+		// bit-identical to the reference replica — and the reference, with
+		// Certify, to a from-scratch build on the mutated graph.
+		cert0 := time.Now()
+		if r.cfg.Certify {
+			if err := r.refM.Certify(); err != nil {
+				return fmt.Errorf("rtroute: batch %d: reference vs from-scratch: %w", b, err)
+			}
+		}
+		if err := r.certifySlices(b); err != nil {
+			return err
+		}
+		row.CertifyNs = int64(time.Since(cert0))
+
+		// Stable phase: the repaired fabric serves a quota that must be
+		// drop-free and total-identical to a sequential replay on the
+		// reference plane.
+		stablePairs := r.drawPairs(gen, r.cfg.StablePackets)
+		hops0, weight0 := r.servedHops.Load(), r.servedWeight.Load()
+		drops0, miss0 = r.drops.Load(), r.misroutes.Load()
+		stable0 := time.Now()
+		if err := r.issue(stablePairs); err != nil {
+			return err
+		}
+		r.issued += int64(len(stablePairs))
+		if err := r.waitAccounted(r.issued, ackTarget, fmt.Sprintf("batch %d stable", b)); err != nil {
+			return err
+		}
+		row.StableNs = int64(time.Since(stable0))
+		row.StableIssued = int64(len(stablePairs))
+		if d, m := r.drops.Load()-drops0, r.misroutes.Load()-miss0; d != 0 || m != 0 {
+			return fmt.Errorf("rtroute: batch %d: repaired cluster dropped %d and misrouted %d roundtrips", b, d, m)
+		}
+		var refHops, refWeight int64
+		var hdr sim.Header
+		for _, p := range stablePairs {
+			out, back, h, err := sim.RoundtripFlightReusing(r.refM.Plane(), hdr, p.src, p.dst, r.cfg.MaxHops)
+			if err != nil {
+				return fmt.Errorf("rtroute: batch %d: sequential replay %d->%d: %w", b, p.src, p.dst, err)
+			}
+			hdr = h
+			refHops += int64(out.Hops + back.Hops)
+			refWeight += int64(out.Weight) + int64(back.Weight)
+		}
+		if gotH, gotW := r.servedHops.Load()-hops0, r.servedWeight.Load()-weight0; gotH != refHops || gotW != refWeight {
+			return fmt.Errorf("rtroute: batch %d: cluster served hops=%d weight=%d, sequential replay hops=%d weight=%d",
+				b, gotH, gotW, refHops, refWeight)
+		}
+		res.BatchRows = append(res.BatchRows, row)
+	}
+	return nil
+}
+
+// drawPairs draws count pairs, resampling (bounded) endpoints the churn
+// has taken down — a dead endpoint can never be served, which would
+// break the accounting identity's usefulness as a hang detector.
+func (r *ccRun) drawPairs(gen traffic.Generator, count int64) []ccPair {
+	pairs := make([]ccPair, 0, count)
+	for i := int64(0); i < count; i++ {
+		src, dst := gen.Next()
+		for tries := 0; tries < 64 && (r.refOv.NodeFailed(r.nodeOf[src]) || r.refOv.NodeFailed(r.nodeOf[dst])); tries++ {
+			src, dst = gen.Next()
+		}
+		pairs = append(pairs, ccPair{src, dst})
+	}
+	return pairs
+}
+
+// issue injects the pairs through the window, grouped per owning shard
+// into batched inject frames — the same discipline cluster.Run's
+// injectors use.
+func (r *ccRun) issue(pairs []ccPair) error {
+	byOwner := make([][]wire.InjectEntry, r.cfg.Shards)
+	idx := 0
+	for idx < len(pairs) {
+		want := len(pairs) - idx
+		if want > 256 {
+			want = 256
+		}
+		got := r.window.Take(want, r.bus.Done())
+		if got == 0 {
+			if err := r.err(); err != nil {
+				return err
+			}
+			return fmt.Errorf("rtroute: cluster closed while injecting")
+		}
+		for k := 0; k < got; k++ {
+			p := pairs[idx]
+			idx++
+			r.rt++
+			owner := r.place.Shard(r.nodeOf[p.src])
+			byOwner[owner] = append(byOwner[owner], wire.InjectEntry{Src: p.src, Dst: p.dst, Rt: r.rt})
+		}
+		for o := range byOwner {
+			if len(byOwner[o]) == 0 {
+				continue
+			}
+			buf := make([]byte, 0, 32+len(byOwner[o])*21)
+			data := wire.AppendInjectBatch(buf, wire.HomeLocal, 0, byOwner[o])
+			byOwner[o] = byOwner[o][:0]
+			if err := r.bus.Send(o, data); err != nil {
+				if aerr := r.err(); aerr != nil {
+					return aerr
+				}
+				return fmt.Errorf("rtroute: inject: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// waitAccounted blocks until every issued roundtrip is accounted —
+// served, dropped, or misrouted; nothing hung — and every shard has
+// acknowledged the batches broadcast so far.
+func (r *ccRun) waitAccounted(issued, acks int64, what string) error {
+	deadline := time.After(60 * time.Second)
+	for {
+		got := r.served.Load() + r.drops.Load() + r.misroutes.Load()
+		if got > issued {
+			return fmt.Errorf("rtroute: %s: over-accounted: %d completions for %d issued", what, got, issued)
+		}
+		if got == issued && r.acks.Load() >= acks {
+			return nil
+		}
+		if err := r.err(); err != nil {
+			return err
+		}
+		select {
+		case <-r.wake:
+		case <-time.After(50 * time.Millisecond):
+		case <-deadline:
+			return fmt.Errorf("rtroute: %s: hung roundtrips: issued %d, served %d, drops %d, misroutes %d, repair acks %d/%d",
+				what, issued, r.served.Load(), r.drops.Load(), r.misroutes.Load(), r.acks.Load(), acks)
+		}
+	}
+}
+
+// certifySlices compares every shard's owned LocalStates bit for bit
+// against the reference replica's decomposition.
+func (r *ccRun) certifySlices(batch int) error {
+	refShared, refLocals, err := core.Decompose(r.refM.Plane())
+	if err != nil {
+		return fmt.Errorf("rtroute: batch %d: decompose reference: %w", batch, err)
+	}
+	for i, rep := range r.reps {
+		shared, locals, err := core.Decompose(rep.m.Plane())
+		if err != nil {
+			return fmt.Errorf("rtroute: batch %d: decompose shard %d: %w", batch, i, err)
+		}
+		// Compare the O(1) shared parameters and the naming — not the
+		// Graph field, whose clones differ in incidental internals (seal
+		// caches, adjacency scratch) without affecting routing state.
+		if shared.Kind != refShared.Kind || shared.K != refShared.K || shared.Levels != refShared.Levels ||
+			shared.ViaSource != refShared.ViaSource || shared.DirectReturn != refShared.DirectReturn ||
+			!reflect.DeepEqual(shared.Names, refShared.Names) {
+			return fmt.Errorf("rtroute: batch %d: shard %d shared parameters diverge from the reference replica", batch, i)
+		}
+		if len(locals) != len(refLocals) {
+			return fmt.Errorf("rtroute: batch %d: shard %d has %d local states, reference %d", batch, i, len(locals), len(refLocals))
+		}
+		for v := range locals {
+			if r.place.Shard(NodeID(v)) != i {
+				continue // foreign tables are deliberately stale
+			}
+			if !reflect.DeepEqual(locals[v], refLocals[v]) {
+				return fmt.Errorf("rtroute: batch %d: shard %d node %d state diverges from the reference replica", batch, i, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Format renders the result as the E19 cluster-churn report.
+func (r *ChurnClusterResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster churn: %s over n=%d, %d shards x %d workers, placement %s, elapsed %v\n",
+		r.Kind, r.Nodes, r.Shards, r.Workers, r.Placement, time.Duration(r.ElapsedNs).Round(time.Millisecond))
+	fmt.Fprintf(&b, "accounting: issued %d = served %d + drops %d + misroutes %d  (0 hung)\n",
+		r.Issued, r.Served, r.Drops, r.Misroutes)
+	fmt.Fprintf(&b, "throughput: %.0f rt/s under fire, %.0f rt/s stable  (%.1f%% of stable while repairing)\n",
+		r.FireRTPerSec, r.StableRTPerSec, pct(r.FireRTPerSec, r.StableRTPerSec))
+	fmt.Fprintf(&b, "repairs: %d (%d shards x %d batches)  latency mean %v  max %v  cross-shard frames %d\n",
+		r.Repairs, r.Shards, len(r.BatchRows), time.Duration(r.RepairNsMean).Round(time.Microsecond),
+		time.Duration(r.RepairNsMax).Round(time.Microsecond), r.CrossShard)
+	switch {
+	case r.Certified && r.FromScratch:
+		b.WriteString("certified: owned slices bit-identical to the reference replica, reference to from-scratch builds, after every batch\n")
+	case r.Certified:
+		b.WriteString("certified: owned slices bit-identical to the reference replica after every batch\n")
+	}
+	fmt.Fprintf(&b, "\n%-5s %6s %6s %7s %9s %9s %9s %11s %11s %9s %9s\n",
+		"batch", "events", "dirty", "dirty%", "fired", "drops", "misroutes", "repair-mean", "repair-max", "fire-ms", "stable-ms")
+	for _, row := range r.BatchRows {
+		fmt.Fprintf(&b, "%-5d %6d %6d %7.2f %9d %9d %9d %11s %11s %9.1f %9.1f\n",
+			row.Batch, row.Events, row.Dirty, 100*row.DirtyFrac, row.FireIssued, row.FireDrops, row.FireMisroutes,
+			time.Duration(row.RepairNsMean).Round(time.Microsecond), time.Duration(row.RepairNsMax).Round(time.Microsecond),
+			float64(row.FireNs)/1e6, float64(row.StableNs)/1e6)
+	}
+	return b.String()
+}
+
+func pct(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * a / b
+}

@@ -1,0 +1,193 @@
+package rtroute
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rtroute/internal/cluster"
+)
+
+// TestClusterChurnMatchesSequential is the tentpole certification: an
+// 8-shard fabric absorbs seeded churn while serving — events ride the
+// wire as churn frames, every shard repairs its owned slice behind its
+// epoch fence concurrently with roundtrips in flight — and after every
+// batch each shard's owned tables are bit-identical to a reference
+// replica (and, transitively, to a from-scratch build), the accounting
+// identity holds exactly (zero hung roundtrips), and the post-repair
+// stable window's hop and weight totals equal a sequential replay on
+// the reference plane. All five plane kinds, under -race.
+func TestClusterChurnMatchesSequential(t *testing.T) {
+	kinds := []struct {
+		name string
+		kind SchemeKind
+	}{
+		{"stretch6", StretchSix},
+		{"exstretch", ExStretch},
+		{"poly", Polynomial},
+		{"rtz", RTZStretch3},
+		{"hop", HopSubstrate},
+	}
+	for _, tc := range kinds {
+		t.Run(tc.name, func(t *testing.T) {
+			const n = 40
+			sys := churnSystem(t, n, 0xE19+int64(tc.kind))
+			res, err := RunChurnCluster(sys, ChurnClusterConfig{
+				Kind:           tc.kind,
+				Build:          BuildConfig{Seed: 7},
+				Shards:         8,
+				Workers:        2,
+				ChurnSeed:      901 + int64(tc.kind),
+				Batches:        3,
+				EventsPerBatch: 3,
+				FirePackets:    300,
+				StablePackets:  300,
+				InFlight:       64,
+				Certify:        true,
+			})
+			if err != nil {
+				t.Fatalf("RunChurnCluster: %v", err)
+			}
+			if res.Issued != res.Served+res.Drops+res.Misroutes {
+				t.Fatalf("accounting identity broken: issued %d != served %d + drops %d + misroutes %d",
+					res.Issued, res.Served, res.Drops, res.Misroutes)
+			}
+			if want := int64(8 * 3); res.Repairs != want {
+				t.Fatalf("repairs = %d, want %d (shards x batches)", res.Repairs, want)
+			}
+			if !res.Certified {
+				t.Fatalf("result not certified")
+			}
+			if len(res.BatchRows) != 3 {
+				t.Fatalf("%d batch rows, want 3", len(res.BatchRows))
+			}
+			for _, row := range res.BatchRows {
+				if row.FireIssued != row.FireServed+row.FireDrops+row.FireMisroutes {
+					t.Fatalf("batch %d: fire accounting broken: %d != %d+%d+%d",
+						row.Batch, row.FireIssued, row.FireServed, row.FireDrops, row.FireMisroutes)
+				}
+				if row.Dirty == 0 {
+					t.Fatalf("batch %d: empty dirty set for %d events", row.Batch, row.Events)
+				}
+			}
+			t.Logf("\n%s", res.Format())
+		})
+	}
+}
+
+// ccReorderEndpoint is the delivery adversary from the PR 6
+// certification, re-aimed at the churn path: it shuffles every batch it
+// hands to the shard and randomly holds a suffix back for a later call,
+// so churn frames overtake and trail roundtrip frames far more
+// aggressively than any real transport. Held frames are always returned
+// by the next Recv or TryRecv before the underlying blocking receive is
+// consulted, so no worker ever blocks on held traffic.
+type ccReorderEndpoint struct {
+	cluster.Transport
+	mu   sync.Mutex
+	rng  *rand.Rand
+	held []cluster.InFrame
+}
+
+func (r *ccReorderEndpoint) takeHeld() ([]cluster.InFrame, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.held) == 0 {
+		return nil, false
+	}
+	out := r.held
+	r.held = nil
+	return out, true
+}
+
+func (r *ccReorderEndpoint) scramble(frames []cluster.InFrame) []cluster.InFrame {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rng.Shuffle(len(frames), func(i, j int) { frames[i], frames[j] = frames[j], frames[i] })
+	if len(frames) > 1 {
+		keep := 1 + r.rng.Intn(len(frames))
+		r.held = append(r.held, frames[keep:]...)
+		frames = frames[:keep]
+	}
+	return frames
+}
+
+func (r *ccReorderEndpoint) Recv() ([]cluster.InFrame, error) {
+	if out, ok := r.takeHeld(); ok {
+		return out, nil
+	}
+	frames, err := r.Transport.Recv()
+	if err != nil {
+		return nil, err
+	}
+	for len(frames) < 1024 {
+		more, ok, err := r.Transport.TryRecv()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		frames = append(frames, more...)
+	}
+	return r.scramble(frames), nil
+}
+
+func (r *ccReorderEndpoint) TryRecv() ([]cluster.InFrame, bool, error) {
+	if out, ok := r.takeHeld(); ok {
+		return out, true, nil
+	}
+	frames, ok, err := r.Transport.TryRecv()
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	return r.scramble(frames), true, nil
+}
+
+// TestClusterChurnUnderReorderingAdversary re-runs the churn
+// certification with the adversary spliced into every shard's endpoint:
+// aggressive reordering of churn frames against in-flight roundtrips
+// must not change a single certified outcome, because repairs are
+// fenced per shard and applied in sequence order regardless of delivery
+// order.
+func TestClusterChurnUnderReorderingAdversary(t *testing.T) {
+	kinds := []struct {
+		name string
+		kind SchemeKind
+	}{
+		{"stretch6", StretchSix},
+		{"rtz", RTZStretch3},
+	}
+	for _, tc := range kinds {
+		t.Run(tc.name, func(t *testing.T) {
+			const n = 40
+			sys := churnSystem(t, n, 0xADE+int64(tc.kind))
+			res, err := RunChurnCluster(sys, ChurnClusterConfig{
+				Kind:           tc.kind,
+				Build:          BuildConfig{Seed: 11},
+				Shards:         8,
+				Workers:        2,
+				ChurnSeed:      333 + int64(tc.kind),
+				Batches:        3,
+				EventsPerBatch: 3,
+				FirePackets:    300,
+				StablePackets:  300,
+				InFlight:       64,
+				Certify:        true,
+				wrapEndpoint: func(shard int, tr cluster.Transport) cluster.Transport {
+					return &ccReorderEndpoint{Transport: tr, rng: rand.New(rand.NewSource(int64(100 + shard)))}
+				},
+			})
+			if err != nil {
+				t.Fatalf("RunChurnCluster under reordering: %v", err)
+			}
+			if res.Issued != res.Served+res.Drops+res.Misroutes {
+				t.Fatalf("accounting identity broken under reordering: issued %d != served %d + drops %d + misroutes %d",
+					res.Issued, res.Served, res.Drops, res.Misroutes)
+			}
+			if want := int64(8 * 3); res.Repairs != want {
+				t.Fatalf("repairs = %d, want %d", res.Repairs, want)
+			}
+		})
+	}
+}

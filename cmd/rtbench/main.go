@@ -19,6 +19,8 @@
 //	                                           # canonical perf suite -> trajectory artifact (E13)
 //	rtbench -exp churn -n 1024 -epochs 8 -rate 2 -packets 80000
 //	                                           # dynamic topology: seeded churn, repair, certification (E17)
+//	rtbench -exp churncluster -n 256 -shards 8 -epochs 4 -events 4 -packets 40000
+//	                                           # churn through the shard fabric, certified under fire (E19)
 package main
 
 import (
@@ -35,7 +37,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "fig1", "experiment: fig1|fig2|fig5|fig10|space|stretch|profile|lower|ablation|traffic|cluster|bench|churn")
+		exp    = flag.String("exp", "fig1", "experiment: fig1|fig2|fig5|fig10|space|stretch|profile|lower|ablation|traffic|cluster|bench|churn|churncluster")
 		n      = flag.Int("n", 64, "number of nodes")
 		seed   = flag.Int64("seed", 1, "random seed")
 		ks     = flag.String("k", "2,3", "comma-separated tradeoff parameters")
@@ -52,7 +54,8 @@ func main() {
 	flag.IntVar(&clusterShards, "shards", 8, "cluster: number of serving shards")
 	flag.StringVar(&clusterPlacement, "placement", "contiguous", "cluster: node partition: contiguous|hash|rtz")
 	flag.IntVar(&clusterInFlight, "inflight", 0, "cluster: concurrent roundtrip window (0 = default)")
-	flag.IntVar(&churnEpochs, "epochs", 8, "churn: serve->churn->repair rounds")
+	flag.IntVar(&churnEpochs, "epochs", 8, "churn: serve->churn->repair rounds (churncluster: event batches)")
+	flag.IntVar(&churnEvents, "events", 4, "churncluster: topology events per batch")
 	flag.Float64Var(&churnRate, "rate", 2, "churn: topology events per 10k served packets")
 	flag.Float64Var(&churnStale, "stale-frac", 0.05, "churn: pre-repair serving window as a fraction of the epoch quota")
 	flag.BoolVar(&churnCertify, "certify", true, "churn: certify the repaired plane bit-identical to a from-scratch build every epoch")
@@ -91,8 +94,9 @@ var (
 	clusterPlacement string
 	clusterInFlight  int
 
-	// -exp churn knobs.
+	// -exp churn / churncluster knobs.
 	churnEpochs  int
+	churnEvents  int
 	churnRate    float64
 	churnStale   float64
 	churnCertify bool
@@ -151,6 +155,8 @@ func run(exp string, n int, seed int64, ks []int) error {
 		return runBench()
 	case "churn":
 		return runChurnExp(n, seed)
+	case "churncluster":
+		return runChurnClusterExp(n, seed)
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}

@@ -64,6 +64,10 @@ func main() {
 		pairs   = flag.Int("pairs", 0, "with -connect: route this many random pairs and summarize (0 = the single -src/-dst pair)")
 		window  = flag.Int("window", 1, "with -connect -pairs: keep this many roundtrips in flight (pipelined, out-of-order completion)")
 		trace   = flag.String("trace", "", "with -connect: comma-separated daemon telemetry addresses (rtserve -http) to fetch the roundtrip's recorded hop trace from")
+		churnN  = flag.Int("churn", 0, "with -connect and -load: draw this many seeded churn batches from the snapshot graph and ship each to every churn address, waiting out the repair acks (0 = off)")
+		churnE  = flag.Int("churn-events", 4, "with -churn: topology events per batch")
+		churnS  = flag.Int64("churn-seed", 1, "with -churn: event-model seed (the stream is a pure function of it)")
+		churnA  = flag.String("churn-addrs", "", "with -churn: comma-separated daemon addresses to repair; list every daemon, or the cluster diverges (default: just -connect)")
 	)
 	flag.Parse()
 
@@ -75,6 +79,13 @@ func main() {
 		return
 	}
 	if *connect != "" {
+		if *churnN > 0 {
+			if err := runConnectChurn(*connect, *churnA, *load, *churnN, *churnE, *churnS); err != nil {
+				fmt.Fprintln(os.Stderr, "rtroute:", err)
+				os.Exit(1)
+			}
+			return
+		}
 		if err := runConnect(*connect, int32(*src), int32(*dst), *pairs, *window, *seed, *trace); err != nil {
 			fmt.Fprintln(os.Stderr, "rtroute:", err)
 			os.Exit(1)
@@ -175,6 +186,85 @@ func runConnect(addr string, src, dst int32, pairs, window int, seed int64, trac
 	}
 	if trace != "" {
 		return fetchTrace(trace)
+	}
+	return nil
+}
+
+// runConnectChurn is the churn-injector mode: it draws a seeded,
+// replayable event stream against its own copy of the served snapshot
+// (events must be admissible on the real topology, which the daemons
+// never ship back) and broadcasts each batch to every daemon armed with
+// rtserve -repair, blocking on the repair acks. Daemons apply batches
+// in sequence order behind their epoch fences, so a batch is only acked
+// once the owned table slice is repaired; concurrent rtroute -pairs
+// clients keep routing throughout.
+func runConnectChurn(addr, addrsSpec, load string, batches, eventsPer int, seed int64) error {
+	if load == "" {
+		return fmt.Errorf("-churn draws events against the daemons' topology: pass the served snapshot with -load")
+	}
+	if eventsPer < 1 {
+		return fmt.Errorf("-churn-events must be at least 1")
+	}
+	data, err := os.ReadFile(load)
+	if err != nil {
+		return err
+	}
+	dep, err := rtroute.UnmarshalScheme(data)
+	if err != nil {
+		return fmt.Errorf("loading %s: %w", load, err)
+	}
+	ov, err := rtroute.NewChurnOverlay(dep.Graph(), rtroute.DamperOptions{})
+	if err != nil {
+		return err
+	}
+	model := rtroute.NewChurnModel(ov, seed, 1, rtroute.DefaultChurnMix, 64)
+
+	spec := addrsSpec
+	if spec == "" {
+		spec = addr
+	}
+	var (
+		clients []*cluster.Client
+		names   []string
+	)
+	for _, raw := range strings.Split(spec, ",") {
+		a := strings.TrimSpace(raw)
+		if a == "" {
+			continue
+		}
+		cl, err := cluster.DialClient(a)
+		if err != nil {
+			return fmt.Errorf("dialing %s: %w", a, err)
+		}
+		defer cl.Close()
+		clients = append(clients, cl)
+		names = append(names, a)
+	}
+	fmt.Printf("injecting %d churn batches (%d events each, seed %d) into %d daemon(s)\n",
+		batches, eventsPer, seed, len(clients))
+	for b := 0; b < batches; b++ {
+		seq := uint64(b + 1)
+		events := make([]rtroute.ChurnEvent, 0, eventsPer)
+		var at float64
+		for i := 0; i < eventsPer; i++ {
+			ev := model.Next()
+			if _, err := ov.Apply(ev); err != nil {
+				return fmt.Errorf("batch %d: %w", b, err)
+			}
+			events = append(events, ev)
+			at = ev.At
+		}
+		if _, err := ov.Advance(at); err != nil {
+			return fmt.Errorf("batch %d: %w", b, err)
+		}
+		start := time.Now()
+		for i, cl := range clients {
+			if err := cl.Churn(seq, events); err != nil {
+				return fmt.Errorf("batch %d to %s: %w", b, names[i], err)
+			}
+		}
+		fmt.Printf("batch %d: %d events, %d daemon(s) repaired and acked in %v\n",
+			b, len(events), len(clients), time.Since(start).Round(time.Microsecond))
 	}
 	return nil
 }

@@ -41,11 +41,16 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"rtroute"
+	"rtroute/internal/churn"
 	"rtroute/internal/cluster"
+	"rtroute/internal/core"
+	"rtroute/internal/graph"
 	"rtroute/internal/telemetry"
 	"rtroute/internal/wire"
 )
@@ -62,17 +67,20 @@ func main() {
 		traceEach = flag.Int("trace-every", 0, "record hop traces for roundtrip tags rt with rt%N==1 (0 = off)")
 		sample    = flag.Int("sample-every", 16, "sample stage timing on every k-th mailbox batch (<0 = off)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain bound")
+		repair    = flag.String("repair", "", "arm online repair with this build seed (must equal the -seed given to rtroute -save): churn frames rebuild the owned table slice behind the epoch fence while serving continues; empty = serve frozen tables")
+		repairK   = flag.Int("repair-k", 2, "with -repair: tradeoff parameter of the rebuilt scheme (exstretch/poly/hop)")
 	)
 	flag.Parse()
 	if err := run(*shard, *addrsSpec, *load, *placement, *workers, *batch,
-		*httpAddr, *traceEach, *sample, *drain); err != nil {
+		*httpAddr, *traceEach, *sample, *drain, *repair, *repairK); err != nil {
 		fmt.Fprintln(os.Stderr, "rtserve:", err)
 		os.Exit(1)
 	}
 }
 
 func run(shard int, addrsSpec, load, placement string, workers, batch int,
-	httpAddr string, traceEvery, sampleEvery int, drain time.Duration) error {
+	httpAddr string, traceEvery, sampleEvery int, drain time.Duration,
+	repairSpec string, repairK int) error {
 	if load == "" {
 		return fmt.Errorf("-load is required (snapshot from rtroute -save)")
 	}
@@ -104,6 +112,18 @@ func run(shard int, addrsSpec, load, placement string, workers, batch int,
 	if err != nil {
 		return err
 	}
+	var repairHook func(uint64, []churn.Event) error
+	if repairSpec != "" {
+		seed, err := strconv.ParseInt(repairSpec, 10, 64)
+		if err != nil {
+			return fmt.Errorf("-repair: %w", err)
+		}
+		repairHook, err = armRepair(dep, view, seed, repairK)
+		if err != nil {
+			return fmt.Errorf("arming repair: %w", err)
+		}
+		fmt.Printf("shard %d: online repair armed (build seed %d, k %d)\n", shard, seed, repairK)
+	}
 	dep.Graph().Seal()
 	tr, err := cluster.ListenTCP(shard, addrs)
 	if err != nil {
@@ -122,7 +142,20 @@ func run(shard int, addrsSpec, load, placement string, workers, batch int,
 
 	sh := cluster.NewShard(view, place, tr, cluster.Options{
 		Workers: workers, Batch: batch, Sink: sink, SinkShard: 0,
+		Repair: repairHook,
 	})
+	if repairHook != nil {
+		sink.RegisterGauge("churn_drops_total", func() float64 { d, _, _, _ := sh.ChurnStats(); return float64(d) })
+		sink.RegisterGauge("churn_misroutes_total", func() float64 { _, m, _, _ := sh.ChurnStats(); return float64(m) })
+		sink.RegisterGauge("churn_repairs_total", func() float64 { _, _, r, _ := sh.ChurnStats(); return float64(r) })
+		sink.RegisterGauge("churn_repair_ns_mean", func() float64 {
+			_, _, r, ns := sh.ChurnStats()
+			if r == 0 {
+				return 0
+			}
+			return float64(ns) / float64(r)
+		})
+	}
 	fmt.Printf("shard %d/%d serving %d of %d nodes (%s placement) on %s with %d workers\n",
 		shard, len(addrs), view.NodeCount(), dep.Graph().N(), place.Policy, tr.Addr(), workers)
 
@@ -162,10 +195,80 @@ func run(shard int, addrsSpec, load, placement string, workers, batch int,
 	downs, redials := tr.LinkStats()
 	fmt.Printf("links: %d peer-down transitions, %d redial attempts; trace events dropped: %d\n",
 		downs, redials, sink.TraceDropped())
+	if repairHook != nil {
+		d, m, reps, ns := sh.ChurnStats()
+		mean := time.Duration(0)
+		if reps > 0 {
+			mean = time.Duration(ns / reps)
+		}
+		fmt.Printf("churn: %d repairs applied (mean %v), %d roundtrips dropped, %d misrouted\n",
+			reps, mean, d, m)
+	}
 	if rows := sink.Snapshot().StageTable(st.Packets); len(rows) > 0 {
 		fmt.Printf("\nstage timing (per completed roundtrip)\n%s", telemetry.FormatStageTable(rows, 0))
 	}
 	return err
+}
+
+// armRepair builds the daemon's private repair replica: a clone of the
+// snapshot graph, the same scheme rebuilt from the operator-supplied
+// build seed — so its tables start bit-identical to the snapshot every
+// other daemon restored — and a churn overlay over the clone. The
+// returned hook is the shard's Options.Repair: applied under the epoch
+// fence with batches in sequence order, it folds the events into the
+// overlay, rebuilds the affected set intersected with this daemon's
+// owned slice, and rebinds the serving deployment to the repaired
+// plane. In-flight roundtrips finish on the pre-fence epoch or come
+// back as typed drops; nothing ever sees a half-patched table.
+func armRepair(dep *core.Deployment, view *core.ShardView, seed int64, k int) (func(uint64, []churn.Event) error, error) {
+	g := dep.Graph().Clone()
+	sys, err := rtroute.NewSystemWith(g, dep.Naming(), rtroute.SystemConfig{Metric: rtroute.MetricLazy})
+	if err != nil {
+		return nil, err
+	}
+	m, err := sys.BuildMaintained(dep.Kind(), rtroute.WithSeed(seed), rtroute.WithK(k))
+	if err != nil {
+		return nil, err
+	}
+	ov, err := churn.NewOverlay(g, churn.NewDamper(churn.DamperConfig{}))
+	if err != nil {
+		return nil, err
+	}
+	seen := make([]bool, g.N())
+	return func(seq uint64, events []churn.Event) error {
+		var dirty []graph.NodeID
+		add := func(ds []graph.NodeID) {
+			for _, d := range ds {
+				if !seen[d] {
+					seen[d] = true
+					dirty = append(dirty, d)
+				}
+			}
+		}
+		var at float64
+		for _, ev := range events {
+			ds, err := ov.Apply(ev)
+			if err != nil {
+				return fmt.Errorf("churn batch %d: %w", seq, err)
+			}
+			add(ds)
+			at = ev.At
+		}
+		released, err := ov.Advance(at)
+		if err != nil {
+			return fmt.Errorf("churn batch %d: %w", seq, err)
+		}
+		add(released)
+		for _, d := range dirty {
+			seen[d] = false
+		}
+		churn.SortNodeIDs(dirty)
+		if _, err := m.RebuildNodesFor(dirty, view.Owns); err != nil {
+			return fmt.Errorf("churn batch %d: %w", seq, err)
+		}
+		dep.Rebind(m.Plane())
+		return nil
+	}, nil
 }
 
 // drainThenClose watches the sink's counters until they hold still for

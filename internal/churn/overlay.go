@@ -46,6 +46,9 @@ type Overlay struct {
 	down   map[linkID]*downState
 	failed []bool
 	stats  OverlayStats
+	// prober is the bounded affected-set probe (probe.go), scratch
+	// shared across the overlay's whole event stream.
+	prober *Prober
 }
 
 // NewOverlay wraps g (typically a clone of a pristine base graph) for
@@ -59,6 +62,7 @@ func NewOverlay(g *graph.Graph, damper *Damper) (*Overlay, error) {
 		damper: damper,
 		down:   make(map[linkID]*downState),
 		failed: make([]bool, g.N()),
+		prober: NewProber(),
 	}, nil
 }
 
@@ -195,7 +199,7 @@ func (ov *Overlay) mutate(u, v graph.NodeID, wNew graph.Dist) ([]graph.NodeID, e
 	if wOld == wNew {
 		return nil, nil
 	}
-	dirty := Affected(ov.G, u, v, wNew)
+	dirty := ov.prober.Affected(ov.G, u, v, wNew)
 	ov.stats.TopologyChanges++
 	return dirty, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 
+	"rtroute/internal/churn"
 	"rtroute/internal/core"
 	"rtroute/internal/wire"
 )
@@ -25,6 +26,13 @@ type Client struct {
 	tc   *tcpConn
 	rd   *bufio.Reader
 	buf  []byte // reusable frame marshal buffer
+
+	// OnDrop, when non-nil, accepts lossy completions: a cluster
+	// converging under churn reports a dropped or misrouted roundtrip
+	// with a FrameDrop instead of a FrameDone, and Roundtrips invokes
+	// OnDrop with the pair's index and the wire drop reason. When nil, a
+	// drop report is an error — the legacy strict contract.
+	OnDrop func(i int, reason byte) error
 }
 
 // DialClient connects to one shard daemon.
@@ -138,7 +146,7 @@ func (c *Client) Roundtrips(pairs []Pair, window int, each func(i int, out, back
 			}
 			continue
 		}
-		if err := c.recv(wire.FrameDone, &f); err != nil {
+		if err := c.recvCompletion(&f); err != nil {
 			return err
 		}
 		if f.Rt == 0 || f.Rt > uint64(len(pairs)) {
@@ -155,11 +163,63 @@ func (c *Client) Roundtrips(pairs []Pair, window int, each func(i int, out, back
 		seen[i] = true
 		done++
 		inflight--
+		if f.Kind == wire.FrameDrop {
+			if err := c.OnDrop(i, f.Reason); err != nil {
+				return err
+			}
+			continue
+		}
 		if each != nil {
 			if err := each(i, f.Out, f.Back); err != nil {
 				return err
 			}
 		}
+	}
+	return nil
+}
+
+// recvCompletion reads the next completion report: a FrameDone, or —
+// when OnDrop is set — a FrameDrop from a cluster converging under
+// churn.
+func (c *Client) recvCompletion(f *wire.Frame) error {
+	data, err := readFrame(c.rd)
+	if err != nil {
+		return err
+	}
+	if err := wire.UnmarshalFrame(data, f); err != nil {
+		return err
+	}
+	switch {
+	case f.Kind == wire.FrameDone:
+		return nil
+	case f.Kind == wire.FrameDrop && c.OnDrop != nil:
+		return nil
+	case f.Kind == wire.FrameDrop:
+		return fmt.Errorf("cluster: roundtrip %d dropped (reason %d) but the client has no OnDrop hook", f.Rt, f.Reason)
+	default:
+		return fmt.Errorf("cluster: expected %d frame, got %d", wire.FrameDone, f.Kind)
+	}
+}
+
+// Churn ships one churn event batch to the dialed daemon and blocks
+// until the daemon acknowledges having applied the repair (an empty
+// batch echoing the sequence number). Sequence numbers start at 1 and
+// must increase by one per call — the daemon applies batches in order.
+func (c *Client) Churn(seq uint64, events []churn.Event) error {
+	c.buf = wire.AppendChurnFrame(c.buf[:0], seq, events)
+	if err := c.tc.writeFrame(c.buf); err != nil {
+		return err
+	}
+	data, err := readFrame(c.rd)
+	if err != nil {
+		return err
+	}
+	ackSeq, ackEvs, err := wire.DecodeChurnFrame(data, nil)
+	if err != nil {
+		return fmt.Errorf("cluster: churn ack: %w", err)
+	}
+	if ackSeq != seq || len(ackEvs) != 0 {
+		return fmt.Errorf("cluster: churn ack for batch %d carries seq %d, %d events", seq, ackSeq, len(ackEvs))
 	}
 	return nil
 }

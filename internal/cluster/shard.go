@@ -4,7 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"rtroute/internal/churn"
 	"rtroute/internal/core"
 	"rtroute/internal/eval"
 	"rtroute/internal/graph"
@@ -34,6 +37,15 @@ type ShardStats struct {
 	// Errors counts malformed or undeliverable frames dropped in
 	// non-strict (daemon) mode.
 	Errors int64
+	// Drops / Misroutes count roundtrips lost while the shard converged
+	// under churn (Options.Repair armed): a typed unroutable failure —
+	// the packet hit an administratively down edge — versus any other
+	// forwarding casualty of momentarily stale tables (wrong-node
+	// delivery, hop-budget exhaustion, a vanished out-port). Both are
+	// accounted completions: the issuer gets a FrameDrop (or OnLost
+	// call), never a hang.
+	Drops     int64
+	Misroutes int64
 	// Allocs counts tracked allocation events at the worker's known
 	// allocation sites — buffer-pool misses, slab-pool misses, sample
 	// growth, the once-per-worker inject header. Per-worker and
@@ -84,6 +96,9 @@ type shardWorker struct {
 	trRet bool
 	// worker is this worker's index, the trace events' tid.
 	worker int
+	// churn stashes churn batches decoded mid-batch; they are applied
+	// after the read fence is released (see applyChurn).
+	churn []churnBatch
 }
 
 // publish hands the probe a copy of the worker's counters at a batch
@@ -175,6 +190,27 @@ type Options struct {
 	// single-shard sink).
 	Sink      *telemetry.Sink
 	SinkShard int
+	// Repair, when non-nil, arms the shard's churn plane: FrameChurn
+	// batches are accepted off the fabric, ordered by sequence number,
+	// and applied under the epoch fence — the callback mutates this
+	// shard's graph replica and rebuilds the owned slice of its tables
+	// while in-flight roundtrips drain on the previous epoch's routes.
+	// It also switches serving to lossy mode: forwarding failures that
+	// strict mode treats as broken invariants become accounted drops
+	// (see ShardStats.Drops/Misroutes), because under convergence they
+	// are expected casualties, not bugs. A Repair error poisons the
+	// shard — the worker returns it even in daemon mode, since a shard
+	// that half-applied a batch must never serve.
+	Repair func(seq uint64, events []churn.Event) error
+	// OnRepaired, when non-nil, observes each applied batch in sequence
+	// order (the in-process driver's ack). When nil and the batch
+	// arrived on an accepted client connection, the shard acknowledges
+	// by echoing an empty batch with the same sequence number.
+	OnRepaired func(seq uint64)
+	// OnLost observes lossy completions whose Home is HomeLocal, with
+	// the wire drop reason (DropUnroutable / DropMisroute); remote homes
+	// get a FrameDrop instead.
+	OnLost func(f *wire.Frame, reason byte)
 }
 
 // Shard is one serving process of a cluster: the ShardView holding its
@@ -190,8 +226,40 @@ type Shard struct {
 	info    wire.Frame
 	workers []shardWorker
 	// seg is the shard's hoisted segment runner: port table, ownership
-	// predicate and hop budget resolved once, not per packet.
+	// predicate and hop budget resolved once, not per packet — and
+	// rebuilt under the write fence after each repair, because it caches
+	// the graph's port table at construction.
 	seg *sim.SegmentRunner
+
+	// The epoch fence (armed when opts.Repair != nil; a cold RWMutex
+	// otherwise, never locked). Workers hold the read side across one
+	// received batch — decode, forward, flush — so a repair's write side
+	// is exactly a barrier at batch granularity: in-flight roundtrips
+	// complete (or drop, accounted) on the old epoch's routes, the
+	// repair runs alone, and the next batch serves the new epoch. No
+	// global stop-the-world: each shard fences independently.
+	armed bool
+	fence sync.RWMutex
+	// churnMu orders repair application; pendingC parks batches that
+	// arrived ahead of sequence (the fabric reorders freely) and nextSeq
+	// is the next batch to apply — sequence numbers start at 1.
+	churnMu  sync.Mutex
+	pendingC map[uint64]churnBatch
+	nextSeq  uint64
+
+	// Lossy-mode and repair counters, shard-level atomics: workers add
+	// from inside the read fence, gauges read concurrently.
+	drops       atomic.Int64
+	misroutes   atomic.Int64
+	repairs     atomic.Int64
+	repairNanos atomic.Int64
+}
+
+// churnBatch is one decoded churn frame parked for in-order application.
+type churnBatch struct {
+	seq    uint64
+	events []churn.Event
+	conn   uint64 // accepted-connection reply token, 0 = none
 }
 
 // NewShard assembles one shard over its view, placement and transport.
@@ -209,6 +277,11 @@ func NewShard(view *core.ShardView, place *Placement, tr Transport, opts Options
 		// forwarding, so it can call the deployment directly and skip
 		// the view's own per-hop ownership re-check.
 		seg: sim.NewSegmentRunner(view.Graph(), view.Deployment(), opts.MaxHops, view.Owns),
+	}
+	if opts.Repair != nil {
+		s.armed = true
+		s.pendingC = make(map[uint64]churnBatch)
+		s.nextSeq = 1
 	}
 	s.info = wire.Frame{
 		Kind:       wire.FrameInfo,
@@ -236,7 +309,16 @@ func (s *Shard) Stats() ShardStats {
 		out.Errors += w.Errors
 		out.Allocs += w.Allocs
 	}
+	out.Drops = s.drops.Load()
+	out.Misroutes = s.misroutes.Load()
 	return out
+}
+
+// ChurnStats returns the shard's churn-plane counters: lossy
+// completions by reason, repairs applied, and total repair wall time.
+// Safe to read while serving (gauges poll it live).
+func (s *Shard) ChurnStats() (drops, misroutes, repairs, repairNanos int64) {
+	return s.drops.Load(), s.misroutes.Load(), s.repairs.Load(), s.repairNanos.Load()
 }
 
 // hists merges the shard's histograms and samples into the caller's.
@@ -297,6 +379,11 @@ func (s *Shard) worker(w int) error {
 			}
 			return err
 		}
+		// The epoch fence's read side spans the whole batch: every route
+		// this batch forwards is computed against one consistent epoch of
+		// the shard's tables, and a repair waiting on the write side gets
+		// in after the flush, never mid-packet.
+		s.rlock()
 		t := st.p.BatchStart(wait0)
 		// Drain everything immediately available before flushing, so the
 		// outbound accumulations grow to the queued work instead of
@@ -308,6 +395,7 @@ func (s *Shard) worker(w int) error {
 				retained, t, err = s.handle(st, frames[i], t)
 				if err != nil {
 					if s.opts.Strict {
+						s.runlock()
 						return err
 					}
 					st.stats.Errors++
@@ -333,19 +421,95 @@ func (s *Shard) worker(w int) error {
 		if err != nil {
 			if errors.Is(err, ErrClosed) {
 				// Flush is pointless on a closed transport; exit cleanly.
+				s.runlock()
 				return nil
 			}
 			if s.opts.Strict {
+				s.runlock()
 				return err
 			}
 			st.stats.Errors++
 		}
 		if _, err := s.flush(st, t); err != nil {
 			if s.opts.Strict && !errors.Is(err, ErrClosed) {
+				s.runlock()
 				return err
 			}
 		}
+		s.runlock()
 		st.publish()
+		// Repairs run outside the read fence: the batch that carried the
+		// churn frame has fully drained, so the write side only contends
+		// with the other workers' serving batches.
+		if err := s.applyChurn(st); err != nil {
+			return err
+		}
+	}
+}
+
+// rlock / runlock are the fence's read side, free when churn is unarmed.
+func (s *Shard) rlock() {
+	if s.armed {
+		s.fence.RLock()
+	}
+}
+
+func (s *Shard) runlock() {
+	if s.armed {
+		s.fence.RUnlock()
+	}
+}
+
+// applyChurn applies the worker's stashed churn batches — plus any
+// previously parked out-of-order batches they unblock — in sequence
+// order under the write fence. A Repair error is returned (and poisons
+// the shard) regardless of Strict: serving from a half-applied epoch is
+// never an option.
+func (s *Shard) applyChurn(st *shardWorker) error {
+	if len(st.churn) == 0 {
+		return nil
+	}
+	s.churnMu.Lock()
+	defer s.churnMu.Unlock()
+	for _, b := range st.churn {
+		s.pendingC[b.seq] = b
+	}
+	st.churn = st.churn[:0]
+	for {
+		b, ok := s.pendingC[s.nextSeq]
+		if !ok {
+			return nil
+		}
+		delete(s.pendingC, s.nextSeq)
+		start := time.Now()
+		s.fence.Lock()
+		err := s.opts.Repair(b.seq, b.events)
+		if err == nil {
+			// The runner cached the pre-repair port table; rebuild it
+			// against the mutated graph before anyone routes again.
+			s.seg = sim.NewSegmentRunner(s.view.Graph(), s.view.Deployment(), s.opts.MaxHops, s.view.Owns)
+		}
+		s.fence.Unlock()
+		if err != nil {
+			// Poison the whole shard, not just this worker: the other
+			// workers must never serve an epoch the repair may have left
+			// half-applied, and closing the transport is what stops the
+			// pool. Serve then returns this error.
+			s.tr.Close()
+			return fmt.Errorf("cluster: shard %d repair of churn batch %d: %w", s.view.Shard(), b.seq, err)
+		}
+		s.repairs.Add(1)
+		s.repairNanos.Add(time.Since(start).Nanoseconds())
+		s.nextSeq++
+		if s.opts.OnRepaired != nil {
+			s.opts.OnRepaired(b.seq)
+		} else if b.conn != 0 {
+			// Ack the injecting client connection: an empty batch echoing
+			// the sequence number.
+			if err := s.tr.Reply(b.conn, wire.AppendChurnFrame(nil, b.seq, nil)); err != nil {
+				st.stats.Errors++
+			}
+		}
 	}
 }
 
@@ -409,6 +573,8 @@ func (s *Shard) handle(st *shardWorker, in InFrame, t int64) (retained bool, tOu
 		case wire.FrameInjectBatch:
 			t, err = s.handleInjectBatch(st, in, t)
 			return false, t, err
+		case wire.FrameChurn:
+			return false, t, s.stashChurn(st, in)
 		}
 	}
 	f := &st.frame
@@ -448,9 +614,10 @@ func (s *Shard) handle(st *shardWorker, in InFrame, t int64) (retained bool, tOu
 			fl = flightOf(f.Back, f.At)
 		}
 		return s.advance(st, f, h, fl, nil, wire.FlightState{}, t)
-	case wire.FrameDone:
-		// A completion report passing through its home shard on the way
-		// back to the client connection that injected it.
+	case wire.FrameDone, wire.FrameDrop:
+		// A completion (or lossy-completion) report passing through its
+		// home shard on the way back to the client connection that
+		// injected it.
 		err := s.tr.Reply(f.Origin, in.Data)
 		return false, st.p.Lap(telemetry.StageSend, t), err
 	case wire.FrameInfoReq:
@@ -502,6 +669,39 @@ func (s *Shard) handleFlight(st *shardWorker, in InFrame, t int64) (bool, int64,
 		fl = flightOf(f.Back, f.At)
 	}
 	return s.advance(st, f, h, fl, in.Data, fs, t)
+}
+
+// stashChurn decodes a churn frame and parks it for application after
+// the read fence drops. Events are fully validated against this graph
+// here, before anything mutates, so a malformed batch is a clean reject
+// — counted in daemon mode — and a Repair failure can only mean the
+// repair itself went wrong (which rightly poisons the shard).
+func (s *Shard) stashChurn(st *shardWorker, in InFrame) error {
+	if !s.armed {
+		return fmt.Errorf("cluster: shard %d received a churn frame but has no repair hook", s.view.Shard())
+	}
+	seq, events, err := wire.DecodeChurnFrame(in.Data, nil)
+	if err != nil {
+		return err
+	}
+	if seq == 0 {
+		return fmt.Errorf("cluster: churn batch with sequence number 0")
+	}
+	n := s.view.Graph().N()
+	for i, ev := range events {
+		switch ev.Kind {
+		case churn.EdgeDown, churn.EdgeUp, churn.WeightChange:
+			if int(ev.U) >= n || int(ev.V) >= n {
+				return fmt.Errorf("cluster: churn event %d touches edge (%d,%d) outside [0,%d)", i, ev.U, ev.V, n)
+			}
+		default:
+			if int(ev.Node) >= n {
+				return fmt.Errorf("cluster: churn event %d touches node %d outside [0,%d)", i, ev.Node, n)
+			}
+		}
+	}
+	st.churn = append(st.churn, churnBatch{seq: seq, events: events, conn: in.Conn})
+	return nil
 }
 
 // handleInjectBatch starts every roundtrip of a batched inject message.
@@ -584,6 +784,20 @@ func (s *Shard) advance(st *shardWorker, f *wire.Frame, h sim.Header, fl sim.Fli
 			delivered, err = s.seg.Fly(h, &fl)
 		}
 		if err != nil {
+			if s.armed {
+				// Under convergence a forwarding failure is an expected
+				// casualty, not a broken invariant: a packet that hit a
+				// down edge is a typed drop, anything else — hop budget
+				// burned looping on stale tables, a vanished out-port —
+				// a misroute. Either way the roundtrip completes as an
+				// accounted loss; nothing hangs.
+				reason := wire.DropMisroute
+				if errors.Is(err, sim.ErrUnroutable) {
+					reason = wire.DropUnroutable
+				}
+				t, err = s.lose(st, f, reason, t)
+				return false, t, err
+			}
 			return false, t, err
 		}
 		if !delivered {
@@ -623,6 +837,10 @@ func (s *Shard) advance(st *shardWorker, f *wire.Frame, h sim.Header, fl sim.Fli
 		if !f.Return {
 			dst := s.view.NodeOf(f.DstName)
 			if fl.Last != dst {
+				if s.armed {
+					t, err = s.lose(st, f, wire.DropMisroute, t)
+					return false, t, err
+				}
 				return false, t, fmt.Errorf("cluster: outbound %d->%d delivered at wrong node %d", f.SrcName, f.DstName, fl.Last)
 			}
 			f.Out = totalsOf(fl)
@@ -638,6 +856,10 @@ func (s *Shard) advance(st *shardWorker, f *wire.Frame, h sim.Header, fl sim.Fli
 		}
 		src := s.view.NodeOf(f.SrcName)
 		if fl.Last != src {
+			if s.armed {
+				t, err = s.lose(st, f, wire.DropMisroute, t)
+				return false, t, err
+			}
 			return false, t, fmt.Errorf("cluster: return %d->%d delivered at wrong node %d", f.DstName, f.SrcName, fl.Last)
 		}
 		f.Back = totalsOf(fl)
@@ -687,6 +909,40 @@ func (s *Shard) complete(st *shardWorker, f *wire.Frame, t int64) (int64, error)
 	}
 	t = st.p.Lap(telemetry.StageComplete, t)
 	data, err := wire.AppendFrame(st.outBuf(), &done, nil)
+	if err != nil {
+		return t, err
+	}
+	t = st.p.Lap(telemetry.StageEncode, t)
+	if int(f.Home) == s.view.Shard() {
+		err := s.tr.Reply(f.Origin, data)
+		return st.p.Lap(telemetry.StageSend, t), err
+	}
+	return s.ship(st, int(f.Home), data, t)
+}
+
+// lose completes a roundtrip as an accounted loss: the shard-level
+// counter for the reason is bumped and the report is routed home
+// exactly like a FrameDone — delivered to OnLost for local homes,
+// shipped (or replied) as a FrameDrop otherwise. The issuer always
+// hears about the roundtrip exactly once.
+func (s *Shard) lose(st *shardWorker, f *wire.Frame, reason byte, t int64) (int64, error) {
+	if reason == wire.DropUnroutable {
+		s.drops.Add(1)
+	} else {
+		s.misroutes.Add(1)
+	}
+	if f.Home == wire.HomeLocal {
+		if s.opts.OnLost != nil {
+			s.opts.OnLost(f, reason)
+		}
+		return st.p.Lap(telemetry.StageComplete, t), nil
+	}
+	drop := wire.Frame{
+		Kind: wire.FrameDrop, SrcName: f.SrcName, DstName: f.DstName,
+		Origin: f.Origin, Rt: f.Rt, Reason: reason,
+	}
+	t = st.p.Lap(telemetry.StageComplete, t)
+	data, err := wire.AppendFrame(st.outBuf(), &drop, nil)
 	if err != nil {
 		return t, err
 	}

@@ -632,6 +632,19 @@ func NewDeployment(s Scheme, kind Kind) *Deployment {
 	return d
 }
 
+// Rebind repoints the deployment at a rebuilt scheme without replacing
+// the Deployment value its callers hold: the scheme pointer and every
+// per-node router's forwarder are swapped in place. The cluster's churn
+// repair path uses this for kinds with no incremental maintainer — the
+// shard rebuilds the plane from scratch and rebinds under its epoch
+// fence, so views and stats wired to the Deployment stay attached.
+func (d *Deployment) Rebind(s Scheme) {
+	d.scheme = s
+	for v := range d.routers {
+		d.routers[v].fwd = s
+	}
+}
+
 // Deploy decomposes a built scheme into per-node local states and
 // reassembles them as a Deployment — the in-process equivalent of a
 // marshal/unmarshal roundtrip, certifying that per-node state suffices.

@@ -131,6 +131,19 @@ func (mt *S6Maintainer) Substrate() *rtz.Maintainer { return mt.subM }
 // for LocalState — to a fresh NewStretchSix(seed) build on the current
 // graph.
 func (mt *S6Maintainer) RebuildNodes(dirty []graph.NodeID) (MaintainReport, error) {
+	return mt.RebuildNodesOwned(dirty, nil)
+}
+
+// RebuildNodesOwned is RebuildNodes restricted to a shard's slice of the
+// plane. The global layers — the substrate delta, the Init-order
+// invalidation, the block-assignment replay — still process the full
+// dirty set, because every node's table derives from them; but the
+// per-node table rebuilds and label patches, the dominant cost, are
+// filtered to nodes owned reports true for. Foreign tables go stale,
+// harmlessly: a shard never forwards at a foreign node, and the cluster
+// certification compares owned LocalStates only. owned == nil means all
+// nodes (plain RebuildNodes).
+func (mt *S6Maintainer) RebuildNodesOwned(dirty []graph.NodeID, owned func(graph.NodeID) bool) (MaintainReport, error) {
 	rep := MaintainReport{DirtyNodes: len(dirty)}
 
 	// 1. Substrate delta.
@@ -174,6 +187,9 @@ func (mt *S6Maintainer) RebuildNodes(dirty []graph.NodeID) (MaintainReport, erro
 	// per-node constructor, keeping the name->holders index in step.
 	rebuilt := make(map[graph.NodeID]bool, len(rebuild))
 	for _, u := range rebuild {
+		if owned != nil && !owned(u) {
+			continue
+		}
 		old := mt.s.nodes[u]
 		tab, err := buildS6Node(int(u), mt.perm, mt.subM.Scheme(), mt.space, assign, mt.nbhdSize)
 		if err != nil {
@@ -198,12 +214,12 @@ func (mt *S6Maintainer) RebuildNodes(dirty []graph.NodeID) (MaintainReport, erro
 	// nodes: value writes via the reverse index, no solver work.
 	for _, x := range subRep.ChangedLabels {
 		lbl := mt.subM.Scheme().LabelOf(x)
-		if !rebuilt[x] {
+		if !rebuilt[x] && (owned == nil || owned(x)) {
 			mt.s.nodes[x].ownLabel = lbl
 		}
 		nm := mt.perm.Name(int32(x))
 		for _, v := range mt.holders[nm] {
-			if rebuilt[v] {
+			if rebuilt[v] || (owned != nil && !owned(v)) {
 				continue
 			}
 			if _, ok := mt.s.nodes[v].labels[nm]; ok {

@@ -44,6 +44,26 @@ const (
 	// FrameInjectBatch carries many injects as one transport message
 	// (see AppendInjectBatch / ForEachInject in flight.go).
 	FrameInjectBatch FrameKind = 7
+	// FrameChurn carries one seeded topology-event batch into a shard
+	// (see AppendChurnFrame / DecodeChurnFrame in churnframe.go). A
+	// batch with no events is the repair acknowledgment a daemon sends
+	// back to the connection that injected the batch.
+	FrameChurn FrameKind = 8
+	// FrameDrop reports a roundtrip abandoned during churn convergence
+	// (stale route hit a down link or misdelivered) back to its home —
+	// the lossy counterpart of FrameDone, so pipelined clients account
+	// for every issued roundtrip even while shards repair.
+	FrameDrop FrameKind = 9
+)
+
+// FrameDrop reasons.
+const (
+	// DropUnroutable: the route crossed an administratively down link
+	// (typed sim.ErrUnroutable) before repair caught up.
+	DropUnroutable byte = 1
+	// DropMisroute: the packet misdelivered or failed forwarding on a
+	// stale-but-alive route during convergence.
+	DropMisroute byte = 2
 )
 
 // Home values of a frame: non-negative is the shard the completion
@@ -88,6 +108,8 @@ type Frame struct {
 	// shard overwrites it with the connection's reply token).
 	Rt      uint64
 	Sampled bool
+	// Reason classifies a FrameDrop (Drop* constants).
+	Reason byte
 	// Header is the in-flight packet's header in its frame-embedded
 	// bare form — kind byte plus body, no envelope; decode with
 	// HeaderDecoder.DecodeBare (FramePacket only). After UnmarshalFrame
@@ -158,10 +180,21 @@ func AppendFrame(dst []byte, f *Frame, h sim.Header) ([]byte, error) {
 		e.byte1(byte(f.SchemeKind))
 		e.i(int64(f.Nodes))
 		e.i(int64(f.Shards))
+	case FrameDrop:
+		if h != nil {
+			return nil, fmt.Errorf("wire: drop frame carries no header")
+		}
+		e.i(int64(f.SrcName))
+		e.i(int64(f.DstName))
+		e.u(f.Origin)
+		e.u(f.Rt)
+		e.byte1(f.Reason)
 	case FrameFlight:
 		return nil, fmt.Errorf("wire: flight frame: encode with AppendFlightFrame")
 	case FrameInjectBatch:
 		return nil, fmt.Errorf("wire: inject batch: encode with AppendInjectBatch")
+	case FrameChurn:
+		return nil, fmt.Errorf("wire: churn batch: encode with AppendChurnFrame")
 	default:
 		return nil, fmt.Errorf("wire: unknown frame kind %d", f.Kind)
 	}
@@ -263,10 +296,28 @@ func UnmarshalFrame(data []byte, f *Frame) error {
 		if f.Shards, err = d.i32(); err != nil {
 			return err
 		}
+	case FrameDrop:
+		if err := d.framePair(f); err != nil {
+			return err
+		}
+		if f.Origin, err = d.u(); err != nil {
+			return err
+		}
+		if f.Rt, err = d.u(); err != nil {
+			return err
+		}
+		if f.Reason, err = d.byte1(); err != nil {
+			return err
+		}
+		if f.Reason != DropUnroutable && f.Reason != DropMisroute {
+			return d.fail("unknown drop reason %d", f.Reason)
+		}
 	case FrameFlight:
 		return d.fail("flight frame: decode with UnmarshalFlightFrame")
 	case FrameInjectBatch:
 		return d.fail("inject batch: decode with ForEachInject")
+	case FrameChurn:
+		return d.fail("churn batch: decode with DecodeChurnFrame")
 	default:
 		return d.fail("unknown frame kind %d", byte(f.Kind))
 	}

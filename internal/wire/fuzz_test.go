@@ -74,6 +74,8 @@ func FuzzUnmarshalFrame(f *testing.F) {
 		{Kind: FrameDone, SrcName: 1, DstName: 2, Origin: 7},
 		{Kind: FrameInfoReq},
 		{Kind: FrameInfo, SchemeKind: 1, Nodes: 16, Shards: 8},
+		{Kind: FrameDrop, SrcName: 1, DstName: 2, Origin: 7, Rt: 11, Reason: DropUnroutable},
+		{Kind: FrameDrop, SrcName: 3, DstName: 4, Reason: DropMisroute},
 	} {
 		blob, err := MarshalFrame(fr, nil)
 		if err != nil {

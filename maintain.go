@@ -135,6 +135,23 @@ func (m *Maintained) RebuildNodes(dirty []NodeID) (MaintainReport, error) {
 	}
 }
 
+// RebuildNodesFor is RebuildNodes restricted to a shard's slice of the
+// plane: per-node table rebuilds are filtered to the nodes owned reports
+// true for, leaving foreign tables stale — harmless for a shard that
+// only forwards at owned nodes, and exactly what the cluster repair
+// path certifies (owned LocalStates against a reference replica).
+// StretchSix filters steps that are per-node; RTZStretch3's substrate
+// state is shared across all nodes, so it takes the full delta; the
+// full-rebuild kinds rebuild and swap the plane as RebuildNodes does
+// (re-fetch Plane, or Rebind a Deployment, afterwards). owned == nil
+// behaves exactly like RebuildNodes.
+func (m *Maintained) RebuildNodesFor(dirty []NodeID, owned func(NodeID) bool) (MaintainReport, error) {
+	if m.s6 != nil {
+		return m.s6.RebuildNodesOwned(dirty, owned)
+	}
+	return m.RebuildNodes(dirty)
+}
+
 // Certify verifies the maintained plane is route-identical to a fresh
 // Build with the same configuration on the current graph: it rebuilds
 // from scratch and compares the two planes' per-node LocalState
